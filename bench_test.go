@@ -1,0 +1,227 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation section. The
+// custom metrics (IPC, penalty%, ...) are the reproduced quantities; the
+// time/op numbers measure the simulator itself.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem .
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/funcsim"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// benchInsts is the committed-instruction budget per simulated run.
+const benchInsts = 20_000
+
+func runOnce(b *testing.B, p workload.Profile, cfg core.Config) *cpu.Stats {
+	b.Helper()
+	program, err := p.Build(1 << 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.MaxInsts = benchInsts
+	cfg.MaxCycles = benchInsts * 200
+	st, err := core.Run(program, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkTable2Mix regenerates Table 2: the dynamic instruction mix of
+// each synthetic benchmark, measured on the functional simulator.
+func BenchmarkTable2Mix(b *testing.B) {
+	for _, p := range workload.Table2() {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			program, err := p.Build(1 << 32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var mix funcsim.Mix
+			for i := 0; i < b.N; i++ {
+				m := funcsim.New(program)
+				if err := m.Run(benchInsts); err != nil && err != funcsim.ErrLimit {
+					b.Fatal(err)
+				}
+				mix = m.Mix()
+			}
+			b.ReportMetric(mix.MemPct, "mem%")
+			b.ReportMetric(mix.IntPct, "int%")
+			b.ReportMetric(mix.FAdd+mix.FMul+mix.FDiv, "fp%")
+		})
+	}
+}
+
+// BenchmarkFig3Model and BenchmarkFig4Model regenerate the analytic
+// curves of Figures 3 and 4 (IPC vs fault frequency, rewind penalty 20
+// and 2000 cycles).
+func BenchmarkFig3Model(b *testing.B) { benchAnalytic(b, 20) }
+func BenchmarkFig4Model(b *testing.B) { benchAnalytic(b, 2000) }
+
+func benchAnalytic(b *testing.B, rw float64) {
+	freqs := model.LogSpace(1e-8, 1e-1, 64)
+	var last float64
+	for i := 0; i < b.N; i++ {
+		for _, r := range []int{2, 3} {
+			pts := model.Curve(model.CurveConfig{IPC1: 1, B: 1, R: r, Rewind: rw}, freqs)
+			last = pts[len(pts)-1].IPC
+		}
+		pts := model.Curve(model.CurveConfig{IPC1: 1, B: 1, R: 3, Majority: true, Rewind: rw}, freqs)
+		last += pts[0].IPC
+	}
+	b.ReportMetric(last, "ipc-at-extremes")
+}
+
+// BenchmarkFig5SteadyState regenerates Figure 5: steady-state IPC of
+// SS-1, Static-2 and SS-2 for each of the 11 benchmarks. The reported
+// "ipc" metric is the reproduced bar height.
+func BenchmarkFig5SteadyState(b *testing.B) {
+	models := []struct {
+		name string
+		cfg  func() core.Config
+	}{
+		{"SS-1", core.SS1},
+		{"Static-2", core.Static2},
+		{"SS-2", core.SS2},
+	}
+	for _, p := range workload.Table2() {
+		for _, m := range models {
+			p, m := p, m
+			b.Run(p.Name+"/"+m.name, func(b *testing.B) {
+				var ipc float64
+				for i := 0; i < b.N; i++ {
+					st := runOnce(b, p, m.cfg())
+					ipc = st.IPC()
+				}
+				b.ReportMetric(ipc, "ipc")
+			})
+		}
+	}
+}
+
+// BenchmarkFig6FaultSweep regenerates Figure 6: simulated IPC of the R=2
+// and R=3-majority designs under increasing fault frequency (fpppp).
+func BenchmarkFig6FaultSweep(b *testing.B) {
+	p, _ := workload.ByName("fpppp")
+	rates := []float64{0, 100, 1000, 10_000, 50_000} // faults per M copies
+	for _, rate := range rates {
+		rate := rate
+		for _, mk := range []struct {
+			name string
+			cfg  func() core.Config
+		}{{"R2", core.SS2}, {"R3maj", core.SS3}} {
+			mk := mk
+			b.Run(fmt.Sprintf("%s/faultsPerM=%.0f", mk.name, rate), func(b *testing.B) {
+				var ipc, rewinds float64
+				for i := 0; i < b.N; i++ {
+					cfg := mk.cfg()
+					cfg.Fault = fault.Config{Rate: rate / 1e6, Seed: 9, Targets: fault.AllTargets}
+					st := runOnce(b, p, cfg)
+					ipc = st.IPC()
+					rewinds = float64(st.FaultRewinds)
+				}
+				b.ReportMetric(ipc, "ipc")
+				b.ReportMetric(rewinds, "rewinds")
+			})
+		}
+	}
+}
+
+// BenchmarkSensitivity regenerates the Section 5.2 resource-sensitivity
+// observations for three representative benchmarks: an FU-limited one
+// (fpppp), an ILP-limited one (go) and the divide-bound ammp.
+func BenchmarkSensitivity(b *testing.B) {
+	for _, name := range []string{"fpppp", "go", "ammp"} {
+		p, _ := workload.ByName(name)
+		b.Run(name, func(b *testing.B) {
+			var base, fu2 float64
+			for i := 0; i < b.N; i++ {
+				base = runOnce(b, p, core.SS1()).IPC()
+				cfg := core.SS1()
+				cfg.CPU.IntALU *= 2
+				cfg.CPU.IntMult *= 2
+				cfg.CPU.FPAdd *= 2
+				cfg.CPU.FPMult *= 2
+				cfg.CPU.MemPorts *= 2
+				fu2 = runOnce(b, p, cfg).IPC()
+			}
+			b.ReportMetric(base, "ipc-base")
+			b.ReportMetric(100*(fu2/base-1), "fu2x-gain%")
+		})
+	}
+}
+
+// BenchmarkAblateCoSchedule measures the Section 3.5 co-scheduling
+// option's throughput effect on SS-2.
+func BenchmarkAblateCoSchedule(b *testing.B) {
+	p, _ := workload.ByName("gcc")
+	for _, cosched := range []bool{false, true} {
+		cosched := cosched
+		b.Run(fmt.Sprintf("cosched=%v", cosched), func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.SS2()
+				cfg.CoSchedule = cosched
+				ipc = runOnce(b, p, cfg).IPC()
+			}
+			b.ReportMetric(ipc, "ipc")
+		})
+	}
+}
+
+// BenchmarkAblateCommitWidth measures the commit-bandwidth tax of
+// replication (Section 3.2) as the provisioned width varies.
+func BenchmarkAblateCommitWidth(b *testing.B) {
+	p, _ := workload.ByName("gcc")
+	for _, w := range []int{4, 8, 16} {
+		w := w
+		b.Run(fmt.Sprintf("width=%d", w), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				c1 := core.SS1()
+				c1.CPU.CommitWidth = w
+				c2 := core.SS2()
+				c2.CPU.CommitWidth = w
+				ipc1 := runOnce(b, p, c1).IPC()
+				ipc2 := runOnce(b, p, c2).IPC()
+				ratio = ipc2 / ipc1
+			}
+			b.ReportMetric(ratio, "ss2/ss1")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the simulator itself: simulated
+// instructions per second of wall time (not a paper artifact, but the
+// number that bounds experiment turnaround).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	p, _ := workload.ByName("bzip")
+	program, err := p.Build(1 << 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	total := uint64(0)
+	for i := 0; i < b.N; i++ {
+		cfg := core.SS1()
+		cfg.MaxInsts = benchInsts
+		cfg.MaxCycles = benchInsts * 200
+		st, err := core.Run(program, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += st.Committed
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "simInsts/s")
+}

@@ -1,0 +1,57 @@
+// Command ftasm assembles SRISC assembly and either disassembles the
+// result (default) or runs it on the in-order functional simulator.
+//
+//	ftasm prog.s            # assemble and list
+//	ftasm -run prog.s       # assemble and execute, printing out values
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/funcsim"
+	"repro/internal/isa"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ftasm: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	execute := flag.Bool("run", false, "execute on the functional simulator")
+	limit := flag.Uint64("limit", 100_000_000, "instruction budget when running")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: ftasm [-run] file.s")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	p, err := asm.Assemble(flag.Arg(0), string(src))
+	if err != nil {
+		return err
+	}
+	if !*execute {
+		for i, in := range p.Text {
+			fmt.Printf("%#08x  %v\n", p.Entry()+uint64(i)*isa.InstBytes, in)
+		}
+		fmt.Printf("; %d instructions, %d data bytes, %d symbols\n",
+			len(p.Text), len(p.Data), len(p.Symbols))
+		return nil
+	}
+	m := funcsim.New(p)
+	if err := m.Run(*limit); err != nil {
+		return err
+	}
+	for _, v := range m.Output {
+		fmt.Printf("%d\n", int64(v))
+	}
+	fmt.Printf("; executed %d instructions\n", m.Insts)
+	return nil
+}

@@ -1,0 +1,87 @@
+// Command ftexp regenerates the paper's tables and figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig3|fig4|fig5|fig6|sensitivity|ablate-cosched|ablate-commit|ablate-recovery|all")
+	insts := flag.Uint64("insts", 200_000, "committed instructions per simulation")
+	bench := flag.String("bench", "fpppp", "benchmark for fig6 / ablate-commit")
+	flag.Parse()
+
+	opt := experiments.Options{MaxInsts: *insts}
+	w := os.Stdout
+	run := func(name string) error {
+		switch name {
+		case "table1":
+			experiments.PrintTable1(w)
+		case "table2":
+			rows, err := experiments.Table2(opt)
+			if err != nil {
+				return err
+			}
+			experiments.PrintTable2(w, rows)
+		case "fig3":
+			experiments.PrintCurves(w, "Figure 3: analytic IPC vs fault frequency (rewind = 20 cycles)", experiments.Fig3())
+		case "fig4":
+			experiments.PrintCurves(w, "Figure 4: analytic IPC vs fault frequency (rewind = 2000 cycles)", experiments.Fig4())
+		case "fig5":
+			rows, err := experiments.Fig5(opt)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig5(w, rows)
+		case "fig6":
+			rows, err := experiments.Fig6(*bench, opt)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig6(w, *bench, rows)
+		case "sensitivity":
+			rows, err := experiments.Sensitivity(opt)
+			if err != nil {
+				return err
+			}
+			experiments.PrintSensitivity(w, rows)
+		case "ablate-cosched":
+			rows, err := experiments.AblateCoSchedule([]string{"gcc", "fpppp", "swim"}, opt)
+			if err != nil {
+				return err
+			}
+			experiments.PrintCoSchedule(w, rows)
+		case "ablate-recovery":
+			rows, err := experiments.AblateRecoveryGrain(*bench, 1000, []int{0, 200, 2000}, opt)
+			if err != nil {
+				return err
+			}
+			experiments.PrintRecoveryGrain(w, *bench, 1000, rows)
+		case "ablate-commit":
+			rows, err := experiments.AblateCommitWidth(*bench, []int{4, 8, 16, 32}, opt)
+			if err != nil {
+				return err
+			}
+			experiments.PrintCommitWidth(w, *bench, rows)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		fmt.Fprintln(w)
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "sensitivity", "ablate-cosched", "ablate-commit", "ablate-recovery"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "ftexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

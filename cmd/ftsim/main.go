@@ -1,0 +1,140 @@
+// Command ftsim runs one program on a simulated fault-tolerant
+// superscalar machine and prints its statistics.
+//
+// The program is either a built-in synthetic benchmark (-bench, see the
+// paper's Table 2) or an SRISC assembly file (-asm). The machine model
+// (-model) is one of the paper's four designs; fault injection is
+// controlled by -fault-rate (faults per executed instruction copy).
+//
+// Examples:
+//
+//	ftsim -bench fpppp -model ss2 -insts 200000
+//	ftsim -bench gcc -model ss3 -fault-rate 1e-4 -oracle
+//	ftsim -asm prog.s -model ss1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/prog"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ftsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	bench := flag.String("bench", "", "built-in benchmark name ("+strings.Join(workload.Names(), ", ")+")")
+	asmFile := flag.String("asm", "", "SRISC assembly file to run instead of a benchmark")
+	modelName := flag.String("model", "ss1", "machine model: ss1|ss2|ss3|ss3rewind|static2")
+	insts := flag.Uint64("insts", 200_000, "maximum committed instructions (0 = run to halt)")
+	cycles := flag.Uint64("cycles", 50_000_000, "maximum cycles")
+	faultRate := flag.Float64("fault-rate", 0, "faults per executed instruction copy")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injection seed")
+	oracle := flag.Bool("oracle", false, "co-simulate an in-order oracle and compare committed state")
+	cosched := flag.Bool("cosched", false, "co-schedule redundant copies on distinct functional units")
+	showOutput := flag.Bool("output", false, "print values written by the out instruction")
+	traceN := flag.Int("trace", 0, "print a pipeline timeline of the last N instruction copies")
+	flag.Parse()
+
+	var program *prog.Program
+	switch {
+	case *bench != "" && *asmFile != "":
+		return fmt.Errorf("-bench and -asm are mutually exclusive")
+	case *bench != "":
+		p, ok := workload.ByName(*bench)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", *bench)
+		}
+		var err error
+		program, err = p.Build(1 << 32)
+		if err != nil {
+			return err
+		}
+	case *asmFile != "":
+		src, err := os.ReadFile(*asmFile)
+		if err != nil {
+			return err
+		}
+		program, err = asm.Assemble(*asmFile, string(src))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("one of -bench or -asm is required")
+	}
+
+	var cfg core.Config
+	switch *modelName {
+	case "ss1":
+		cfg = core.SS1()
+	case "ss2":
+		cfg = core.SS2()
+	case "ss3":
+		cfg = core.SS3()
+	case "ss3rewind":
+		cfg = core.SS3Rewind()
+	case "static2":
+		cfg = core.Static2()
+	default:
+		return fmt.Errorf("unknown model %q", *modelName)
+	}
+	cfg.Fault = fault.Config{Rate: *faultRate, Seed: *faultSeed, Targets: fault.AllTargets}
+	cfg.Oracle = *oracle
+	cfg.CoSchedule = *cosched
+	cfg.MaxInsts = *insts
+	cfg.MaxCycles = *cycles
+
+	var buf *trace.Buffer
+	if *traceN > 0 {
+		// Each instruction copy generates up to four events.
+		buf = trace.NewBuffer(*traceN * 4)
+		cfg.CPU.Tracer = buf
+	}
+
+	st, err := core.Run(program, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("model        %s (R=%d)\n", cfg.CPU.Name, cfg.R)
+	fmt.Printf("program      %s\n", program.Name)
+	fmt.Printf("cycles       %d\n", st.Cycles)
+	fmt.Printf("instructions %d (copies %d)\n", st.Committed, st.Copies)
+	fmt.Printf("IPC          %.4f (copy IPC %.4f)\n", st.IPC(), st.CopyIPC())
+	fmt.Printf("halted       %v\n", st.Halted)
+	fmt.Printf("branch       %d cond lookups, %.2f%% mispredict, %d rewinds\n",
+		st.Bpred.CondLookups, 100*st.Bpred.MispredictRate(), st.BranchRewinds)
+	fmt.Printf("caches       il1 %.2f%% dl1 %.2f%% l2 %.2f%% miss\n",
+		100*st.IL1.MissRate(), 100*st.DL1.MissRate(), 100*st.L2.MissRate())
+	if *faultRate > 0 || cfg.R > 1 {
+		fmt.Printf("faults       injected %d, detected %d, pc-check %d\n",
+			st.Fault.Injected, st.FaultsDetected, st.PCCheckFails)
+		fmt.Printf("recovery     %d rewinds, avg penalty %.1f cycles, %d majority commits\n",
+			st.FaultRewinds, st.AvgRecoveryPenalty(), st.MajorityCommits)
+	}
+	if *oracle {
+		fmt.Printf("oracle       %d escaped faults\n", st.EscapedFaults)
+	}
+	if *showOutput {
+		for _, v := range st.Output {
+			fmt.Printf("out          %d (%#x)\n", int64(v), v)
+		}
+	}
+	if buf != nil {
+		fmt.Println()
+		buf.Timeline(os.Stdout)
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "Dual Use of
+// Superscalar Datapath for Transient-Fault Detection and Recovery"
+// (Ray, Hoe, Falsafi; MICRO 2001).
+//
+// The library lives under internal/: package core implements the paper's
+// fault-tolerant superscalar (redundant instruction injection,
+// commit-stage cross-checking, rewind recovery and majority election) on
+// top of the out-of-order datapath in package cpu; packages isa, asm,
+// mem, prog, cache, bpred, ecc, funcsim, fault, model, workload, stats
+// and experiments provide the ISA, tooling, substrates and evaluation
+// drivers. See README.md, DESIGN.md and EXPERIMENTS.md.
+//
+// The benchmarks in this directory (bench_test.go) regenerate every
+// table and figure of the paper's evaluation; run them with
+//
+//	go test -bench=. -benchmem .
+package repro

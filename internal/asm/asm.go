@@ -1,0 +1,565 @@
+// Package asm implements a two-pass text assembler for SRISC.
+//
+// The syntax is conventional:
+//
+//	; sum the first n integers
+//	.data
+//	n:      .word 100
+//	.text
+//	start:  la   r1, n
+//	        ld   r1, 0(r1)
+//	        li   r3, 0
+//	loop:   add  r3, r3, r1
+//	        addi r1, r1, -1
+//	        bne  r1, r0, loop
+//	        out  r3
+//	        halt
+//
+// Comments start with ';' or '#'. Labels end with ':' and may share a line
+// with an instruction or directive. Registers are r0..r31 and f0..f31,
+// with aliases zero (r0), sp (r30) and ra (r31). Immediates are decimal or
+// 0x-prefixed hex. Directives: .text, .data, .word, .float, .space,
+// .align. The pseudo-instruction li64 materialises a full 64-bit constant
+// as a lih/ori pair.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Error describes an assembly error with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+// item is a parsed source statement awaiting label resolution.
+type item struct {
+	line   int
+	mnem   string
+	args   []string
+	nInsts int // instructions this item expands to
+}
+
+type assembler struct {
+	name   string
+	items  []item
+	labels map[string]uint64 // absolute addresses (text or data)
+
+	textLen int // instructions so far (pass 1)
+	data    []byte
+
+	insts []isa.Inst
+}
+
+// Assemble translates SRISC assembly source into a loadable program.
+func Assemble(name, src string) (*prog.Program, error) {
+	a := &assembler{name: name, labels: make(map[string]uint64)}
+	if err := a.pass1(src); err != nil {
+		return nil, err
+	}
+	if err := a.pass2(); err != nil {
+		return nil, err
+	}
+	return &prog.Program{
+		Name:    name,
+		Text:    a.insts,
+		Data:    a.data,
+		Symbols: a.labels,
+	}, nil
+}
+
+// pass1 tokenises, assigns label addresses and lays out the data segment.
+func (a *assembler) pass1(src string) error {
+	sec := secText
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		// Peel off any labels.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t") {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !validLabel(label) {
+				return &Error{lineNo + 1, fmt.Sprintf("invalid label %q", label)}
+			}
+			if _, dup := a.labels[label]; dup {
+				return &Error{lineNo + 1, fmt.Sprintf("duplicate label %q", label)}
+			}
+			if sec == secText {
+				a.labels[label] = prog.TextBase + uint64(a.textLen)*isa.InstBytes
+			} else {
+				a.labels[label] = prog.DataBase + uint64(len(a.data))
+			}
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		mnem, rest, _ := strings.Cut(line, " ")
+		mnem = strings.ToLower(strings.TrimSpace(mnem))
+		args := splitArgs(rest)
+
+		switch mnem {
+		case ".text":
+			sec = secText
+			continue
+		case ".data":
+			sec = secData
+			continue
+		case ".word", ".float", ".space", ".align":
+			if sec != secData {
+				return &Error{lineNo + 1, mnem + " outside .data section"}
+			}
+			if err := a.layoutData(lineNo+1, mnem, args); err != nil {
+				return err
+			}
+			continue
+		}
+		if sec != secText {
+			return &Error{lineNo + 1, fmt.Sprintf("instruction %q in .data section", mnem)}
+		}
+		n := 1
+		if mnem == "li64" {
+			n = 2
+		}
+		a.items = append(a.items, item{line: lineNo + 1, mnem: mnem, args: args, nInsts: n})
+		a.textLen += n
+	}
+	return nil
+}
+
+func (a *assembler) layoutData(line int, mnem string, args []string) error {
+	switch mnem {
+	case ".word":
+		a.alignData(8)
+		for _, s := range args {
+			v, err := parseInt(s)
+			if err != nil {
+				return &Error{line, err.Error()}
+			}
+			a.appendWord(uint64(v))
+		}
+	case ".float":
+		a.alignData(8)
+		for _, s := range args {
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return &Error{line, fmt.Sprintf("bad float %q", s)}
+			}
+			a.appendWord(isa.F2B(f))
+		}
+	case ".space":
+		if len(args) != 1 {
+			return &Error{line, ".space wants one size argument"}
+		}
+		n, err := parseInt(args[0])
+		if err != nil || n < 0 {
+			return &Error{line, fmt.Sprintf("bad size %q", args[0])}
+		}
+		a.data = append(a.data, make([]byte, n)...)
+	case ".align":
+		if len(args) != 1 {
+			return &Error{line, ".align wants one argument"}
+		}
+		n, err := parseInt(args[0])
+		if err != nil || n <= 0 {
+			return &Error{line, fmt.Sprintf("bad alignment %q", args[0])}
+		}
+		a.alignData(int(n))
+	}
+	return nil
+}
+
+func (a *assembler) alignData(n int) {
+	for len(a.data)%n != 0 {
+		a.data = append(a.data, 0)
+	}
+}
+
+func (a *assembler) appendWord(v uint64) {
+	for i := 0; i < 8; i++ {
+		a.data = append(a.data, byte(v))
+		v >>= 8
+	}
+}
+
+// pass2 encodes instructions with all labels known.
+func (a *assembler) pass2() error {
+	pc := uint64(prog.TextBase)
+	for _, it := range a.items {
+		insts, err := a.encode(it, pc)
+		if err != nil {
+			return err
+		}
+		if len(insts) != it.nInsts {
+			return &Error{it.line, fmt.Sprintf("internal: %q expanded to %d instructions, expected %d",
+				it.mnem, len(insts), it.nInsts)}
+		}
+		a.insts = append(a.insts, insts...)
+		pc += uint64(len(insts)) * isa.InstBytes
+	}
+	return nil
+}
+
+func (a *assembler) encode(it item, pc uint64) ([]isa.Inst, error) {
+	fail := func(format string, args ...any) ([]isa.Inst, error) {
+		return nil, &Error{it.line, fmt.Sprintf(format, args...)}
+	}
+	want := func(n int) error {
+		if len(it.args) != n {
+			return &Error{it.line, fmt.Sprintf("%s wants %d operands, got %d", it.mnem, n, len(it.args))}
+		}
+		return nil
+	}
+
+	// Pseudo-instructions first.
+	switch it.mnem {
+	case "li64":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(it.args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		v, err := parseInt(it.args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return []isa.Inst{
+			{Op: isa.OpLih, Rd: rd, Imm: int32(uint64(v) >> 32)},
+			{Op: isa.OpOri, Rd: rd, Rs1: rd, Imm: int32(uint32(v))},
+		}, nil
+	case "la":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(it.args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		addr, ok := a.labels[it.args[1]]
+		if !ok {
+			return fail("undefined label %q", it.args[1])
+		}
+		if addr > 0x7FFF_FFFF {
+			return fail("label %q address %#x exceeds immediate range", it.args[1], addr)
+		}
+		return []isa.Inst{{Op: isa.OpLi, Rd: rd, Imm: int32(addr)}}, nil
+	}
+
+	op, ok := isa.OpByName(it.mnem)
+	if !ok {
+		return fail("unknown instruction %q", it.mnem)
+	}
+	oi := isa.Info(op)
+	in := isa.Inst{Op: op}
+
+	switch {
+	case op == isa.OpNop || op == isa.OpHalt:
+		if err := want(0); err != nil {
+			return nil, err
+		}
+	case op == isa.OpOut || op == isa.OpJr:
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		r, err := parseReg(it.args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		in.Rs1 = r
+	case op == isa.OpJ:
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		imm, err := a.branchTarget(it.args[0], pc)
+		if err != nil {
+			return fail("%v", err)
+		}
+		in.Imm = imm
+	case op == isa.OpJal:
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(it.args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		imm, err := a.branchTarget(it.args[1], pc)
+		if err != nil {
+			return fail("%v", err)
+		}
+		in.Rd, in.Imm = rd, imm
+	case op == isa.OpJalr:
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(it.args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		rs, err := parseReg(it.args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		in.Rd, in.Rs1 = rd, rs
+	case oi.IsBranch:
+		if err := want(3); err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(it.args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		rs2, err := parseReg(it.args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		imm, err := a.branchTarget(it.args[2], pc)
+		if err != nil {
+			return fail("%v", err)
+		}
+		in.Rs1, in.Rs2, in.Imm = rs1, rs2, imm
+	case oi.IsLoad:
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(it.args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		imm, base, err := parseMemOperand(it.args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		in.Rd, in.Rs1, in.Imm = rd, base, imm
+	case oi.IsStore:
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		rv, err := parseReg(it.args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		imm, base, err := parseMemOperand(it.args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		in.Rs2, in.Rs1, in.Imm = rv, base, imm
+	case op == isa.OpLi || op == isa.OpLih:
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(it.args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		v, err := parseInt(it.args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		if v < -(1<<31) || v > (1<<31)-1 {
+			return fail("immediate %d does not fit in 32 bits (use li64)", v)
+		}
+		in.Rd, in.Imm = rd, int32(v)
+	case oi.ReadsRs2 && oi.WritesRd: // three-register ops
+		if err := want(3); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(it.args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		rs1, err := parseReg(it.args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		rs2, err := parseReg(it.args[2])
+		if err != nil {
+			return fail("%v", err)
+		}
+		in.Rd, in.Rs1, in.Rs2 = rd, rs1, rs2
+	case oi.ReadsRs1 && oi.WritesRd && oneOf(op, isa.OpFsqrt, isa.OpCvtIF, isa.OpCvtFI, isa.OpMovIF, isa.OpMovFI):
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(it.args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		rs1, err := parseReg(it.args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		in.Rd, in.Rs1 = rd, rs1
+	case oi.ReadsRs1 && oi.WritesRd: // register-immediate ops
+		if err := want(3); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(it.args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		rs1, err := parseReg(it.args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		v, err := parseInt(it.args[2])
+		if err != nil {
+			return fail("%v", err)
+		}
+		if v < -(1<<31) || v > (1<<31)-1 {
+			return fail("immediate %d does not fit in 32 bits", v)
+		}
+		in.Rd, in.Rs1, in.Imm = rd, rs1, int32(v)
+	default:
+		return fail("unsupported instruction form %q", it.mnem)
+	}
+	return []isa.Inst{in}, nil
+}
+
+// branchTarget resolves a label or literal offset to a PC-relative byte
+// immediate.
+func (a *assembler) branchTarget(arg string, pc uint64) (int32, error) {
+	if addr, ok := a.labels[arg]; ok {
+		off := int64(addr) - int64(pc)
+		if off < -(1<<31) || off > (1<<31)-1 {
+			return 0, fmt.Errorf("branch to %q out of range", arg)
+		}
+		return int32(off), nil
+	}
+	v, err := parseInt(arg)
+	if err != nil {
+		return 0, fmt.Errorf("undefined label or bad offset %q", arg)
+	}
+	if v < -(1<<31) || v > (1<<31)-1 {
+		return 0, fmt.Errorf("offset %d out of range", v)
+	}
+	return int32(v), nil
+}
+
+var regAliases = map[string]uint8{
+	"zero": isa.RegZero,
+	"sp":   isa.RegSP,
+	"ra":   isa.RegLink,
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if len(s) >= 2 && (s[0] == 'r' || s[0] == 'f') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < 32 {
+			if s[0] == 'r' {
+				return uint8(n), nil
+			}
+			return uint8(n + isa.FPBase), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// parseMemOperand parses "imm(reg)" or "(reg)".
+func parseMemOperand(s string) (imm int32, base uint8, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q (want imm(reg))", s)
+	}
+	if open > 0 {
+		v, err := parseInt(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+		if v < -(1<<31) || v > (1<<31)-1 {
+			return 0, 0, fmt.Errorf("displacement %d out of range", v)
+		}
+		imm = int32(v)
+	}
+	base, err = parseReg(s[open+1 : len(s)-1])
+	return imm, base, err
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg, s = true, s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func oneOf(op isa.Op, ops ...isa.Op) bool {
+	for _, o := range ops {
+		if op == o {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,233 @@
+package bpred
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func condBranch(imm int32) isa.Inst {
+	return isa.Inst{Op: isa.OpBne, Rs1: 1, Rs2: 0, Imm: imm}
+}
+
+// train resolves the same branch n times with the given outcome.
+func train(p *Predictor, pc uint64, in isa.Inst, taken bool, n int) {
+	_, next, _ := isa.EvalCtrl(in.Op, pc, in.Imm, 1, 0)
+	if !taken {
+		next = pc + isa.InstBytes
+	}
+	for i := 0; i < n; i++ {
+		pr := p.Predict(pc, in)
+		p.Update(pc, in, taken, next, pr)
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	p := New(Config{Kind: KindBimodal})
+	pc := uint64(0x1000)
+	in := condBranch(-64)
+	train(p, pc, in, true, 4)
+	pr := p.Predict(pc, in)
+	if !pr.Taken || pr.NextPC != pc-64 {
+		t.Errorf("after taken training: %+v", pr)
+	}
+	train(p, pc, in, false, 4)
+	pr = p.Predict(pc, in)
+	if pr.Taken || pr.NextPC != pc+isa.InstBytes {
+		t.Errorf("after not-taken training: %+v", pr)
+	}
+}
+
+func TestTwoLevelLearnsPattern(t *testing.T) {
+	p := New(Config{Kind: KindTwoLevel, L1Size: 2, HistBits: 4, L2Size: 1024})
+	pc := uint64(0x2000)
+	in := condBranch(32)
+	// Alternating T,N,T,N... pattern: a 2-level predictor keys on the
+	// history and learns it; warm up then measure.
+	taken := true
+	for i := 0; i < 200; i++ {
+		pr := p.Predict(pc, in)
+		next := pc + isa.InstBytes
+		if taken {
+			next = pc + 32
+		}
+		p.Update(pc, in, taken, next, pr)
+		taken = !taken
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		pr := p.Predict(pc, in)
+		if pr.Taken == taken {
+			correct++
+		}
+		next := pc + isa.InstBytes
+		if taken {
+			next = pc + 32
+		}
+		p.Update(pc, in, taken, next, pr)
+		taken = !taken
+	}
+	if correct < 95 {
+		t.Errorf("two-level got %d/100 on alternating pattern", correct)
+	}
+}
+
+func TestCombinedBeatsWorstComponent(t *testing.T) {
+	// The combined predictor should learn to trust the two-level
+	// component on an alternating pattern, which bimodal cannot predict.
+	p := New(Config{Kind: KindCombined, L1Size: 2, HistBits: 8, L2Size: 1024})
+	pc := uint64(0x3000)
+	in := condBranch(16)
+	taken := true
+	for i := 0; i < 400; i++ {
+		pr := p.Predict(pc, in)
+		next := pc + isa.InstBytes
+		if taken {
+			next = pc + 16
+		}
+		p.Update(pc, in, taken, next, pr)
+		taken = !taken
+	}
+	mispred := p.Stats.CondMispredict
+	total := p.Stats.CondLookups
+	if rate := float64(mispred) / float64(total); rate > 0.3 {
+		t.Errorf("combined mispredict rate %.2f on learnable pattern", rate)
+	}
+}
+
+func TestStaticPredictors(t *testing.T) {
+	pn := New(Config{Kind: KindNotTaken})
+	pc := uint64(0x100)
+	in := condBranch(64)
+	if pr := pn.Predict(pc, in); pr.Taken {
+		t.Error("not-taken predictor predicted taken")
+	}
+	pt := New(Config{Kind: KindTaken})
+	if pr := pt.Predict(pc, in); !pr.Taken || pr.NextPC != pc+64 {
+		t.Errorf("taken predictor: %+v", pr)
+	}
+}
+
+func TestDirectJumpsExact(t *testing.T) {
+	p := New(Default())
+	pc := uint64(0x4000)
+	j := isa.Inst{Op: isa.OpJ, Imm: 160}
+	if pr := p.Predict(pc, j); !pr.Taken || pr.NextPC != pc+160 {
+		t.Errorf("j prediction: %+v", pr)
+	}
+	jal := isa.Inst{Op: isa.OpJal, Rd: isa.RegLink, Imm: -32}
+	if pr := p.Predict(pc, jal); pr.NextPC != pc-32 {
+		t.Errorf("jal prediction: %+v", pr)
+	}
+}
+
+func TestRASCallReturn(t *testing.T) {
+	p := New(Default())
+	callPC := uint64(0x5000)
+	// jal pushes the return address...
+	p.Predict(callPC, isa.Inst{Op: isa.OpJal, Rd: isa.RegLink, Imm: 0x100})
+	// ...and jr ra pops it.
+	ret := isa.Inst{Op: isa.OpJr, Rs1: isa.RegLink}
+	pr := p.Predict(0x5100, ret)
+	if pr.NextPC != callPC+isa.InstBytes {
+		t.Errorf("return predicted %#x, want %#x", pr.NextPC, callPC+isa.InstBytes)
+	}
+	if p.Stats.RASPushes != 1 || p.Stats.RASPops != 1 {
+		t.Errorf("ras stats: %+v", p.Stats)
+	}
+}
+
+func TestRASNesting(t *testing.T) {
+	p := New(Default())
+	ret := isa.Inst{Op: isa.OpJr, Rs1: isa.RegLink}
+	// Three nested calls, three returns in LIFO order.
+	for i := uint64(0); i < 3; i++ {
+		p.Predict(0x1000*(i+1), isa.Inst{Op: isa.OpJal, Rd: isa.RegLink, Imm: 64})
+	}
+	for i := uint64(3); i >= 1; i-- {
+		pr := p.Predict(0x9000, ret)
+		want := 0x1000*i + isa.InstBytes
+		if pr.NextPC != want {
+			t.Errorf("nested return %d predicted %#x, want %#x", i, pr.NextPC, want)
+		}
+	}
+}
+
+func TestRASOverflow(t *testing.T) {
+	p := New(Config{RASSize: 2})
+	ret := isa.Inst{Op: isa.OpJr, Rs1: isa.RegLink}
+	for i := uint64(1); i <= 3; i++ {
+		p.Predict(0x1000*i, isa.Inst{Op: isa.OpJal, Rd: isa.RegLink, Imm: 64})
+	}
+	// The stack holds the two most recent return addresses.
+	if pr := p.Predict(0x9000, ret); pr.NextPC != 0x3000+isa.InstBytes {
+		t.Errorf("overflowed ras top = %#x", pr.NextPC)
+	}
+	if pr := p.Predict(0x9000, ret); pr.NextPC != 0x2000+isa.InstBytes {
+		t.Errorf("overflowed ras second = %#x", pr.NextPC)
+	}
+}
+
+func TestIndirectViaBTB(t *testing.T) {
+	p := New(Default())
+	pc := uint64(0x6000)
+	// jr through a non-link register: needs the BTB.
+	jr := isa.Inst{Op: isa.OpJr, Rs1: 5}
+	pr := p.Predict(pc, jr)
+	if pr.NextPC != pc+isa.InstBytes {
+		t.Errorf("cold BTB predicted %#x, want fall-through", pr.NextPC)
+	}
+	p.Update(pc, jr, true, 0xABC0, pr)
+	if p.Stats.IndirMispred != 1 {
+		t.Errorf("indirect mispredict not counted: %+v", p.Stats)
+	}
+	pr = p.Predict(pc, jr)
+	if pr.NextPC != 0xABC0 {
+		t.Errorf("warm BTB predicted %#x, want 0xabc0", pr.NextPC)
+	}
+}
+
+func TestBTBEviction(t *testing.T) {
+	p := New(Config{BTBSets: 1, BTBWays: 2})
+	jr := isa.Inst{Op: isa.OpJr, Rs1: 5}
+	for i := uint64(0); i < 3; i++ {
+		pc := 0x1000 + i*8
+		pr := p.Predict(pc, jr)
+		p.Update(pc, jr, true, 0xA000+i, pr)
+	}
+	// First entry was LRU-evicted by the third.
+	if pr := p.Predict(0x1000, jr); pr.NextPC == 0xA000 {
+		t.Error("LRU entry not evicted")
+	}
+	// Most recent entries survive.
+	if pr := p.Predict(0x1010, jr); pr.NextPC != 0xA002 {
+		t.Errorf("recent entry evicted: %#x", pr.NextPC)
+	}
+}
+
+func TestMispredictStats(t *testing.T) {
+	p := New(Config{Kind: KindNotTaken})
+	pc := uint64(0x100)
+	in := condBranch(64)
+	pr := p.Predict(pc, in)
+	p.Update(pc, in, true, pc+64, pr) // actually taken: mispredict
+	pr = p.Predict(pc, in)
+	p.Update(pc, in, false, pc+isa.InstBytes, pr) // not taken: correct
+	if p.Stats.CondMispredict != 1 || p.Stats.CondLookups != 2 {
+		t.Errorf("stats = %+v", p.Stats)
+	}
+	if got := p.Stats.MispredictRate(); got != 0.5 {
+		t.Errorf("mispredict rate = %v, want 0.5", got)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p := New(Config{})
+	if len(p.bimodal) != 2048 || len(p.l2) != 1024 || len(p.l1) != 2 || len(p.ras) != 8 {
+		t.Errorf("defaults not applied: bimodal=%d l2=%d l1=%d ras=%d",
+			len(p.bimodal), len(p.l2), len(p.l1), len(p.ras))
+	}
+	if s := Default().String(); s == "" {
+		t.Error("empty config string")
+	}
+}

@@ -1,0 +1,175 @@
+// Package cache models the simulated machine's memory hierarchy for
+// timing purposes: separate L1 instruction and data caches backed by a
+// unified L2, per the paper's Table 1 (64 KB 2-way IL1, 32 KB 2-way DL1
+// with 2 R/W ports, 512 KB 4-way unified L2).
+//
+// Caches here carry no data — values always come from the functional
+// memory, which is ECC-protected in the paper's fault model — only tags,
+// LRU state and dirty bits, from which access latencies are derived.
+// Dirty evictions are written back through a write buffer and are not
+// charged on the access's critical path.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	LineBytes  int
+	HitLatency int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+func (c Config) String() string {
+	return fmt.Sprintf("%s %dKB %d-way %dB-line (%d-cycle hit)",
+		c.Name, c.SizeBytes/1024, c.Ways, c.LineBytes, c.HitLatency)
+}
+
+// Stats counts accesses for one cache level.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses per access.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	lru   uint64
+}
+
+// Cache is one level of the hierarchy. The zero value is unusable; use
+// NewCache.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	age   uint64
+	next  *Cache // nil means the next level is memory
+	memLa int    // memory latency when next == nil
+
+	Stats Stats
+}
+
+// NewCache builds a cache; next is the level below (nil = main memory
+// with the given latency).
+func NewCache(cfg Config, next *Cache, memLatency int) *Cache {
+	if cfg.Sets() <= 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry %+v", cfg.Name, cfg))
+	}
+	sets := make([][]line, cfg.Sets())
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets, next: next, memLa: memLatency}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access simulates a read (write=false) or write (write=true) of the line
+// containing addr and returns the access latency in cycles. Writes
+// allocate on miss (write-allocate, write-back).
+func (c *Cache) Access(addr uint64, write bool) int {
+	c.Stats.Accesses++
+	lineAddr := addr / uint64(c.cfg.LineBytes)
+	setIdx := lineAddr % uint64(len(c.sets))
+	tag := lineAddr / uint64(len(c.sets))
+	set := c.sets[setIdx]
+	c.age++
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.age
+			if write {
+				set[i].dirty = true
+			}
+			return c.cfg.HitLatency
+		}
+	}
+	// Miss: fetch the line from below, evicting the LRU way.
+	c.Stats.Misses++
+	below := c.memLa
+	if c.next != nil {
+		below = c.next.Access(addr, false)
+	}
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		c.Stats.Writebacks++
+		if c.next != nil {
+			// The writeback goes through a write buffer; model its
+			// effect on lower-level state but not on this access's
+			// latency.
+			victimAddr := (set[victim].tag*uint64(len(c.sets)) + setIdx) * uint64(c.cfg.LineBytes)
+			c.next.Access(victimAddr, true)
+		}
+	}
+	set[victim] = line{valid: true, dirty: write, tag: tag, lru: c.age}
+	return c.cfg.HitLatency + below
+}
+
+// Flush invalidates all lines (used between experiment repetitions).
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = line{}
+		}
+	}
+}
+
+// HierarchyConfig describes the full Table 1 memory hierarchy.
+type HierarchyConfig struct {
+	IL1, DL1, L2 Config
+	MemLatency   int
+}
+
+// DefaultHierarchy returns the Table 1 configuration.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		IL1:        Config{Name: "il1", SizeBytes: 64 * 1024, Ways: 2, LineBytes: 32, HitLatency: 1},
+		DL1:        Config{Name: "dl1", SizeBytes: 32 * 1024, Ways: 2, LineBytes: 32, HitLatency: 1},
+		L2:         Config{Name: "ul2", SizeBytes: 512 * 1024, Ways: 4, LineBytes: 64, HitLatency: 6},
+		MemLatency: 40,
+	}
+}
+
+// Hierarchy is the assembled two-level hierarchy.
+type Hierarchy struct {
+	IL1, DL1, L2 *Cache
+}
+
+// NewHierarchy builds the hierarchy from cfg.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	l2 := NewCache(cfg.L2, nil, cfg.MemLatency)
+	return &Hierarchy{
+		IL1: NewCache(cfg.IL1, l2, 0),
+		DL1: NewCache(cfg.DL1, l2, 0),
+		L2:  l2,
+	}
+}
+
+// IFetch returns the latency of an instruction fetch at addr.
+func (h *Hierarchy) IFetch(addr uint64) int { return h.IL1.Access(addr, false) }
+
+// DAccess returns the latency of a data access at addr.
+func (h *Hierarchy) DAccess(addr uint64, write bool) int { return h.DL1.Access(addr, write) }

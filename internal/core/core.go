@@ -1,0 +1,143 @@
+// Package core implements the paper's contribution: the transient-fault
+// tolerant superscalar. It wires the out-of-order datapath (package cpu)
+// into the three mechanisms of Section 3.2 —
+//
+//  1. instruction injection: each instruction dispatches as R redundant,
+//     data-independent copies through offset renaming;
+//  2. fault detection: the commit stage cross-checks the R copies' result
+//     values, memory addresses, store data and branch outcomes, plus the
+//     PC-continuity check against the ECC-protected committed next-PC; and
+//  3. recovery: any disagreement rewinds the whole ROB and refetches from
+//     the committed next-PC — or, for R >= 3, a majority election commits
+//     the agreed value without a rewind.
+//
+// The package exposes the four machine models evaluated in Section 5
+// (SS-1, SS-2, Static-2, and the R=3 majority design) and a Run facade.
+package core
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/prog"
+)
+
+// Config describes a fault-tolerant superscalar run.
+type Config struct {
+	// CPU is the base datapath (widths, window, functional units,
+	// caches, branch predictor). Its R/Checker/Injector fields are
+	// overwritten by Build.
+	CPU cpu.Config
+
+	// R is the degree of redundancy (1 = unprotected baseline).
+	R int
+	// Majority enables majority election for R >= 3: a group whose
+	// copies disagree still commits if at least MajorityThreshold copies
+	// agree on every checked field.
+	Majority bool
+	// MajorityThreshold is the correctness acceptance threshold
+	// (Section 3.2, "Recovery"); zero means a simple majority, R/2+1.
+	MajorityThreshold int
+	// CoSchedule asks the issue stage to place redundant copies on
+	// distinct physical functional units (Section 3.5).
+	CoSchedule bool
+
+	// Fault configures transient-fault injection.
+	Fault fault.Config
+	// Persistent models a hard stuck-bit fault in one functional unit
+	// (see fault.Persistent); nil disables it.
+	Persistent *fault.Persistent
+	// TransformOperands rotates redundant copies' bitwise operands
+	// (Section 2.2's defence against persistent-fault error masking).
+	TransformOperands bool
+	// RecoveryPenalty adds fixed cycles to each fault recovery,
+	// modelling coarse-grain (checkpoint-style) schemes; 0 = the paper's
+	// fine-grain rewind.
+	RecoveryPenalty int
+	// Oracle enables the in-order co-simulation check of Section 5.1.1.
+	Oracle bool
+
+	// Run limits (zero = unlimited).
+	MaxInsts  uint64
+	MaxCycles uint64
+}
+
+// SS1 returns the unprotected Table 1 baseline (the stock superscalar).
+func SS1() Config {
+	return Config{CPU: cpu.Baseline(), R: 1}
+}
+
+// SS2 returns the paper's 2-way dynamic-redundant design: same hardware
+// as SS-1, with instruction injection, commit-stage checking and
+// rewind-based recovery.
+func SS2() Config {
+	c := Config{CPU: cpu.Baseline(), R: 2}
+	c.CPU.Name = "SS-2"
+	return c
+}
+
+// SS3 returns the 3-way redundant design with majority election, as
+// simulated in Section 5.3.
+func SS3() Config {
+	c := Config{CPU: cpu.Baseline(), R: 3, Majority: true}
+	c.CPU.Name = "SS-3"
+	return c
+}
+
+// SS3Rewind returns a 3-way design that always rewinds on any mismatch
+// (majority election disabled), for ablation.
+func SS3Rewind() Config {
+	c := Config{CPU: cpu.Baseline(), R: 3}
+	c.CPU.Name = "SS-3-rewind"
+	return c
+}
+
+// Static2 returns one pipeline of the statically partitioned two-pipeline
+// lock-step processor of Section 5.1.2 (half of every resource except
+// caches and branch prediction). Running the whole program on it yields
+// the Static-2 system's throughput.
+func Static2() Config {
+	return Config{CPU: cpu.Halved(), R: 1}
+}
+
+// Build assembles a runnable machine for program p.
+func (c Config) Build(p *prog.Program) (*cpu.Machine, error) {
+	cfg := c.CPU
+	cfg.R = c.R
+	if c.R > 1 && cfg.RUUSize%c.R != 0 {
+		// Section 3.2 requires the ROB size to be a multiple of R so the
+		// copy-k-at-index-≡k alignment holds; round down (e.g. 128 -> 126
+		// for R=3), mirroring how a real design would provision the ROB.
+		cfg.RUUSize -= cfg.RUUSize % c.R
+	}
+	cfg.CoSchedule = c.CoSchedule
+	cfg.Checker = nil
+	if c.R > 1 {
+		if c.Majority {
+			thr := c.MajorityThreshold
+			if thr == 0 {
+				thr = c.R/2 + 1
+			}
+			cfg.Checker = &MajorityChecker{R: c.R, Threshold: thr}
+		} else {
+			cfg.Checker = &RewindChecker{}
+		}
+	}
+	cfg.Injector = fault.New(c.Fault)
+	cfg.Persistent = c.Persistent
+	cfg.TransformOperands = c.TransformOperands
+	cfg.RecoveryPenalty = c.RecoveryPenalty
+	cfg.Oracle = c.Oracle
+	cfg.MaxInsts = c.MaxInsts
+	cfg.MaxCycles = c.MaxCycles
+	return cpu.New(cfg, p)
+}
+
+// Run builds and runs the machine to completion (program halt or run
+// limits) and returns its statistics.
+func Run(p *prog.Program, c Config) (*cpu.Stats, error) {
+	m, err := c.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}

@@ -1,0 +1,23 @@
+package cpu
+
+// Verdict is the commit-stage decision for one instruction group.
+type Verdict struct {
+	// OK permits the group to retire; false triggers a full rewind
+	// (discard the RUU, refetch from the committed next-PC).
+	OK bool
+	// Copy selects whose values to commit (relevant when a majority
+	// election accepted the group despite a disagreeing copy).
+	Copy int
+	// Mismatch records that at least one field disagreed between copies
+	// (set both for rewinds and for majority-accepted commits).
+	Mismatch bool
+	// Majority marks a group committed by majority election.
+	Majority bool
+}
+
+// Checker cross-checks the R completed copies of a retiring instruction.
+// Implementations live in package core (rewind-only for R=2, majority
+// election for R>=3). The checker sees entries in copy order.
+type Checker interface {
+	Check(group []*Entry) Verdict
+}

@@ -1,0 +1,323 @@
+package cpu
+
+import (
+	"math/bits"
+
+	"repro/internal/fault"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// ---------------------------------------------------------------------
+// Issue: select ready entries oldest-first, allocate functional units,
+// compute results (execute-in-pipeline) and schedule completion.
+
+func (m *Machine) issue() {
+	budget := m.cfg.IssueWidth
+	m.ruu.forEach(func(idx int, e *Entry) bool {
+		if budget == 0 {
+			return false
+		}
+		if e.Issued || !e.ready() {
+			return true
+		}
+		if m.tryIssueEntry(idx, e) {
+			budget--
+		}
+		return true
+	})
+}
+
+// tryIssueEntry attempts to start execution of one entry this cycle.
+func (m *Machine) tryIssueEntry(idx int, e *Entry) bool {
+	oi := e.Inst.Info()
+
+	// Redundant copies of loads consume the single memory access's
+	// result; they become eligible only once the group's access is done
+	// (Section 5.1.2: addresses are computed redundantly, but only one
+	// memory access is performed).
+	if oi.IsLoad && e.Copy != 0 {
+		c0 := m.groupCopy0(idx, e)
+		if c0 == nil || !c0.Done || c0.LSQ < 0 || !m.lsq.at(c0.LSQ).dataValid {
+			return false
+		}
+	}
+
+	pool := m.fus.get(oi.Pool)
+	unit := -1
+	if pool != nil {
+		prefer := -1
+		if m.cfg.CoSchedule && m.cfg.R > 1 && e.Copy > 0 {
+			if c0 := m.groupCopy0(idx, e); c0 != nil && c0.Issued && c0.FUUnit >= 0 {
+				prefer = (c0.FUUnit + e.Copy) % pool.units()
+			}
+		}
+		unit = pool.tryIssue(m.cycle, oi.Latency, oi.Pipelined, prefer)
+		if unit < 0 {
+			return false
+		}
+	}
+
+	// Loads must pass disambiguation before the port reservation is
+	// real; compute the address first.
+	a, b := e.Ops[0].Value, e.Ops[1].Value
+	latency := oi.Latency
+
+	// Decide fault injection for this executed copy.
+	if tgt, hit := m.injector.Roll(); hit {
+		e.Inject = true
+		e.InjectTarget = m.mapInjectTarget(tgt, oi)
+	}
+
+	switch {
+	case oi.IsLoad:
+		e.EA = isa.EffAddr(e.Inst.Imm, a)
+		if e.Inject && e.InjectTarget == fault.TargetAddress {
+			e.EA = m.injector.FlipLowBit(e.EA, 32)
+		}
+		if e.Copy == 0 {
+			lat, ok := m.issueLoad(e)
+			if !ok {
+				// Blocked on an older store: release nothing (the port
+				// reservation for this cycle is wasted, as in a real
+				// replay) and retry next cycle.
+				e.Inject = false
+				return false
+			}
+			latency += lat
+		} else {
+			le := m.lsq.at(m.groupCopy0(idx, e).LSQ)
+			e.Result = le.loadVal
+			if e.Inject && e.InjectTarget == fault.TargetResult {
+				e.Result = m.injector.FlipBit(e.Result)
+			}
+		}
+		e.NextPC = e.PC + isa.InstBytes
+	case oi.IsStore:
+		e.EA = isa.EffAddr(e.Inst.Imm, a)
+		if e.Inject && e.InjectTarget == fault.TargetAddress {
+			e.EA = m.injector.FlipLowBit(e.EA, 32)
+		}
+		e.StoreVal = b
+		if e.Inject && e.InjectTarget == fault.TargetResult {
+			e.StoreVal = m.injector.FlipBit(e.StoreVal)
+		}
+		if e.Copy == 0 {
+			le := m.lsq.at(e.LSQ)
+			le.addrReady = true
+			le.addr = e.EA
+			size, _ := isa.LoadWidth(e.Inst.Op)
+			le.size = size
+			le.dataReady = true
+			le.data = e.StoreVal
+		}
+		e.NextPC = e.PC + isa.InstBytes
+	case oi.IsCtrl():
+		taken, next, link := isa.EvalCtrl(e.Inst.Op, e.PC, e.Inst.Imm, a, b)
+		e.Taken, e.NextPC, e.Result = taken, next, link
+		if e.Inject && e.InjectTarget == fault.TargetBranch {
+			e.NextPC = m.injector.FlipLowBit(e.NextPC, 32)
+			e.Taken = true
+		}
+	default:
+		e.Result = m.evalALU(e, a, b, unit)
+		if e.Inject && e.InjectTarget == fault.TargetResult {
+			e.Result = m.injector.FlipBit(e.Result)
+		}
+		e.NextPC = e.PC + isa.InstBytes
+	}
+
+	e.Issued = true
+	e.InFlight = true
+	e.FUPool = oi.Pool
+	e.FUUnit = unit
+	e.DoneAt = m.cycle + uint64(latency)
+	m.emit(trace.StageIssue, e)
+	m.stats.Issued++
+	return true
+}
+
+// issueLoad performs disambiguation and, if clear, the single memory
+// access for copy 0 of a load group. It returns the extra latency beyond
+// address generation and whether the load could proceed.
+func (m *Machine) issueLoad(e *Entry) (int, bool) {
+	le := m.lsq.at(e.LSQ)
+	le.addrReady = true
+	le.addr = e.EA
+	size, signExt := isa.LoadWidth(e.Inst.Op)
+	le.size = size
+
+	conflict, fwd := m.lsq.checkLoad(e.LSQ, e.EA, size)
+	switch conflict {
+	case loadBlocked:
+		le.addrReady = false // recompute next attempt
+		return 0, false
+	case loadForward:
+		val := fwd
+		if signExt {
+			val = isa.SignExtend(val, size)
+		}
+		le.dataValid = true
+		le.loadVal = val
+		le.performed = true
+		e.Result = val
+	default: // loadClear
+		lat := m.caches.DAccess(e.EA, false)
+		val := m.mem.Read(e.EA, size)
+		if signExt {
+			val = isa.SignExtend(val, size)
+		}
+		le.dataValid = true
+		le.loadVal = val
+		le.performed = true
+		e.Result = val
+		if e.Inject && e.InjectTarget == fault.TargetResult {
+			e.Result = m.injector.FlipBit(e.Result)
+		}
+		return lat, true
+	}
+	if e.Inject && e.InjectTarget == fault.TargetResult {
+		e.Result = m.injector.FlipBit(e.Result)
+	}
+	return 0, true
+}
+
+// evalALU computes a non-memory, non-control result, modelling the
+// optional operand-rotation transform and any persistent stuck-bit fault
+// in the executing unit. Rotation is applied only to register-register
+// bitwise logic, for which it commutes exactly; the stuck bit corrupts
+// the raw (rotated-domain) result, which is how a real damaged slice
+// behaves and why the transform makes the corruption visible.
+func (m *Machine) evalALU(e *Entry, a, b uint64, unit int) uint64 {
+	op := e.Inst.Op
+	rot := 0
+	if m.cfg.TransformOperands && e.Copy > 0 && isBitwise(op) {
+		rot = e.Copy
+		a = bits.RotateLeft64(a, rot)
+		b = bits.RotateLeft64(b, rot)
+	}
+	raw := isa.Eval(op, e.Inst.Imm, a, b)
+	if m.cfg.Persistent.Affects(op, e.Inst.Info().Pool, unit) {
+		raw = m.cfg.Persistent.Apply(raw)
+	}
+	if rot != 0 {
+		raw = bits.RotateLeft64(raw, -rot)
+	}
+	return raw
+}
+
+func isBitwise(op isa.Op) bool {
+	return op == isa.OpAnd || op == isa.OpOr || op == isa.OpXor
+}
+
+// mapInjectTarget narrows a rolled fault target to one that exists for
+// this instruction class, so the configured rate applies uniformly.
+func (m *Machine) mapInjectTarget(t fault.Target, oi *isa.OpInfo) fault.Target {
+	switch t {
+	case fault.TargetAddress:
+		if !oi.IsMem() {
+			return fault.TargetResult
+		}
+	case fault.TargetBranch:
+		if !oi.IsCtrl() {
+			return fault.TargetResult
+		}
+	}
+	return t
+}
+
+// groupCopy0 returns copy 0 of the group containing entry e at ring
+// index idx. Copies are allocated consecutively, so copy 0 sits e.Copy
+// slots earlier in the ring.
+func (m *Machine) groupCopy0(idx int, e *Entry) *Entry {
+	c0 := m.ruu.at((idx - e.Copy + m.ruu.size()) % m.ruu.size())
+	if !c0.Valid || c0.GID != e.GID {
+		return nil
+	}
+	return c0
+}
+
+// ---------------------------------------------------------------------
+// Writeback: publish completed results, wake up consumers, and resolve
+// control flow (triggering branch rewinds on mispredictions).
+
+func (m *Machine) writeback() {
+	// Completions are processed oldest-first so the eldest mispredicted
+	// branch squashes before younger completions are looked at.
+	m.ruu.forEach(func(idx int, e *Entry) bool {
+		if !e.InFlight || e.DoneAt > m.cycle {
+			return true
+		}
+		e.InFlight = false
+		e.Done = true
+		m.emit(trace.StageComplete, e)
+
+		// Wake up waiting consumers in all threads.
+		m.broadcast(idx, e)
+
+		// Branch resolution (Section 3.2, "Fault Detection"): as soon as
+		// one copy of a control instruction disagrees with the current
+		// predicted path, rewind immediately on that singular result.
+		if e.Inst.Info().IsCtrl() && e.NextPC != e.PredNext {
+			m.branchRewind(idx, e)
+			// The squash may have invalidated everything younger;
+			// continue the scan (younger entries are now invalid and
+			// skipped by forEach's Valid check).
+		}
+		return true
+	})
+}
+
+// broadcast delivers a completed result to every operand waiting on it.
+func (m *Machine) broadcast(idx int, producer *Entry) {
+	m.ruu.forEach(func(_ int, e *Entry) bool {
+		for i := range e.Ops {
+			op := &e.Ops[i]
+			if op.Used && !op.Ready && op.Producer == idx && op.ProducerSeq == producer.Seq {
+				op.Ready = true
+				op.Value = producer.Result
+			}
+		}
+		return true
+	})
+}
+
+// branchRewind squashes every entry younger than the resolving branch's
+// group and redirects fetch to the resolved target. All copies of the
+// group adopt the new expected path so identical resolutions do not
+// re-trigger.
+func (m *Machine) branchRewind(idx int, e *Entry) {
+	// The group occupies copies 0..R-1; the boundary is the last copy.
+	copy0Idx := (idx - e.Copy + m.ruu.size()) % m.ruu.size()
+	lastSeq := m.ruu.at(copy0Idx).Seq + uint64(m.cfg.R-1)
+
+	m.emitSquashes(lastSeq, false)
+	squashed := m.ruu.truncateAfter(lastSeq, false)
+	m.stats.SquashedUops += uint64(squashed)
+	m.lsq.truncateAfter(lastSeq, false)
+	m.rebuildMapTable()
+	m.redirect(e.NextPC)
+	m.stats.BranchRewinds++
+
+	for k := 0; k < m.cfg.R; k++ {
+		ce := m.ruu.at((copy0Idx + k) % m.ruu.size())
+		if ce.Valid && ce.GID == e.GID {
+			ce.PredNext = e.NextPC
+		}
+	}
+}
+
+// rebuildMapTable reconstructs the rename map from the surviving RUU
+// contents after a squash (walk oldest to youngest; the youngest copy-0
+// writer of each register wins).
+func (m *Machine) rebuildMapTable() {
+	for i := range m.mapTable {
+		m.mapTable[i] = mapRef{}
+	}
+	m.ruu.forEach(func(idx int, e *Entry) bool {
+		if e.Copy == 0 && e.Inst.Info().WritesRd && e.Inst.Rd != isa.RegZero {
+			m.mapTable[e.Inst.Rd] = mapRef{valid: true, idx: idx, seq: e.Seq}
+		}
+		return true
+	})
+}

@@ -1,0 +1,127 @@
+package cpu
+
+// lsqEntry tracks one memory instruction (copy 0 of its group) for
+// address disambiguation and store-to-load forwarding. Redundant copies
+// of memory instructions compute their addresses independently in their
+// RUU entries, but — per the paper's Section 5.1.2 — only one memory
+// access is performed, through this queue.
+type lsqEntry struct {
+	valid  bool
+	seq    uint64 // copy-0 RUU seq, for age comparisons
+	gid    uint64
+	isLoad bool
+
+	addrReady bool
+	addr      uint64
+	size      int
+
+	// Stores: data captured at issue (agen) time.
+	dataReady bool
+	data      uint64
+
+	// Loads: set once the single memory access (or forward) completes;
+	// loadVal is delivered to every copy of the group.
+	dataValid bool
+	loadVal   uint64
+
+	performed bool // load access in flight or done
+}
+
+// lsq is the circular load/store queue, ordered by program order.
+type lsq struct {
+	entries []lsqEntry
+	head    int
+	tail    int
+	count   int
+}
+
+func newLSQ(size int) *lsq {
+	return &lsq{entries: make([]lsqEntry, size)}
+}
+
+func (q *lsq) free() int { return len(q.entries) - q.count }
+
+func (q *lsq) alloc() int {
+	if q.count == len(q.entries) {
+		panic("cpu: LSQ overflow")
+	}
+	idx := q.tail
+	q.tail = (q.tail + 1) % len(q.entries)
+	q.count++
+	return idx
+}
+
+// releaseHead frees the oldest entry; it must correspond to the
+// committing group.
+func (q *lsq) releaseHead(gid uint64) {
+	if q.count == 0 || !q.entries[q.head].valid || q.entries[q.head].gid != gid {
+		panic("cpu: LSQ head mismatch at commit")
+	}
+	q.entries[q.head] = lsqEntry{}
+	q.head = (q.head + 1) % len(q.entries)
+	q.count--
+}
+
+func (q *lsq) at(idx int) *lsqEntry { return &q.entries[idx] }
+
+// truncateAfter drops every entry younger than seq (strictly greater), or
+// all entries when squashAll is set.
+func (q *lsq) truncateAfter(seq uint64, squashAll bool) {
+	for q.count > 0 {
+		lastIdx := (q.tail - 1 + len(q.entries)) % len(q.entries)
+		e := &q.entries[lastIdx]
+		if !squashAll && e.seq <= seq {
+			break
+		}
+		q.entries[lastIdx] = lsqEntry{}
+		q.tail = lastIdx
+		q.count--
+	}
+}
+
+// loadConflict describes what stands between a load and memory.
+type loadConflict int
+
+const (
+	loadClear   loadConflict = iota // no older store conflicts: access memory
+	loadForward                     // exact-match older store with data: forward
+	loadBlocked                     // unknown or partially overlapping older store
+)
+
+// checkLoad classifies the load at lsq index loadIdx against all older
+// stores. On loadForward the forwarded value is returned.
+func (q *lsq) checkLoad(loadIdx int, addr uint64, size int) (loadConflict, uint64) {
+	le := &q.entries[loadIdx]
+	// Walk older entries youngest-first so the nearest matching store
+	// forwards.
+	idx := loadIdx
+	for {
+		if idx == q.head {
+			break
+		}
+		idx = (idx - 1 + len(q.entries)) % len(q.entries)
+		se := &q.entries[idx]
+		if !se.valid || se.isLoad {
+			continue
+		}
+		if se.seq >= le.seq {
+			continue
+		}
+		if !se.addrReady {
+			return loadBlocked, 0
+		}
+		if !overlap(addr, size, se.addr, se.size) {
+			continue
+		}
+		if se.addr == addr && se.size == size && se.dataReady {
+			return loadForward, se.data
+		}
+		// Partial overlap, or data not yet available: wait.
+		return loadBlocked, 0
+	}
+	return loadClear, 0
+}
+
+func overlap(a uint64, an int, b uint64, bn int) bool {
+	return a < b+uint64(bn) && b < a+uint64(an)
+}

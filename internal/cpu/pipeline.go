@@ -1,0 +1,409 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/ecc"
+	"repro/internal/fault"
+	"repro/internal/funcsim"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+// ErrDeadlock is returned when the machine stops committing instructions,
+// which indicates a simulator bug rather than a program property.
+var ErrDeadlock = errors.New("cpu: no commit progress (pipeline deadlock)")
+
+// fetched is one slot of the fetch queue.
+type fetchedInst struct {
+	pc       uint64
+	inst     isa.Inst
+	predNext uint64
+	pred     bpred.Prediction
+}
+
+// Machine is one simulated processor core plus its committed
+// architectural state.
+type Machine struct {
+	cfg Config
+
+	// Committed (ECC-protected, outside the sphere of replication)
+	// architectural state. The committed next-PC register is the one
+	// structure Section 3.2 explicitly requires to be ECC protected —
+	// it is the recovery anchor — so it really is stored under SECDED.
+	regs   [isa.NumRegs]uint64
+	nextPC ecc.Reg
+	mem    *mem.Memory
+
+	// Speculative machinery.
+	ruu      *ruu
+	lsq      *lsq
+	fus      *fuSet
+	bp       *bpred.Predictor
+	caches   *cache.Hierarchy
+	injector *fault.Injector
+
+	mapTable [isa.NumRegs]mapRef
+
+	// Fetch state.
+	fetchPC    uint64
+	fetchQ     []fetchedInst
+	stallUntil uint64
+	fetchHalt  bool
+
+	cycle   uint64
+	seq     uint64
+	gid     uint64
+	halted  bool
+	stopped bool
+
+	// Fault-recovery bookkeeping.
+	pendingRecovery bool
+	recoveryStart   uint64
+
+	// Oracle co-simulation (Section 5.1.1).
+	oracle     *funcsim.Machine
+	oracleLive bool
+
+	lastCommitCycle uint64
+
+	stats Stats
+}
+
+// New builds a machine for the given program. The program image is loaded
+// into a fresh memory; the oracle, if enabled, gets an identical clone.
+func New(cfg Config, p *prog.Program) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:    cfg,
+		mem:    mem.New(),
+		ruu:    newRUU(cfg.RUUSize),
+		lsq:    newLSQ(cfg.LSQSize),
+		fus:    newFUSet(&cfg),
+		bp:     bpred.New(cfg.Bpred),
+		caches: cache.NewHierarchy(cfg.Hierarchy),
+	}
+	m.injector = cfg.Injector
+	entry := p.LoadInto(m.mem)
+	m.regs[isa.RegSP] = prog.StackTop
+	m.nextPC.Set(entry)
+	m.fetchPC = entry
+	m.fetchQ = make([]fetchedInst, 0, cfg.FetchQueue)
+	if cfg.Oracle {
+		m.oracle = funcsim.NewWithMemory(m.mem.Clone(), entry)
+		m.oracleLive = true
+	}
+	return m, nil
+}
+
+// Stats returns the statistics gathered so far.
+func (m *Machine) Stats() *Stats { return &m.stats }
+
+// emit records a pipeline event for one entry when tracing is enabled.
+func (m *Machine) emit(stage trace.Stage, e *Entry) {
+	if m.cfg.Tracer == nil {
+		return
+	}
+	m.cfg.Tracer.Record(trace.Event{
+		Cycle: m.cycle, Stage: stage,
+		Seq: e.Seq, GID: e.GID, Copy: e.Copy, PC: e.PC, Inst: e.Inst,
+	})
+}
+
+// emitSquashes records squash events for every valid entry younger than
+// seq (or all entries when all is set) before they are discarded.
+func (m *Machine) emitSquashes(seq uint64, all bool) {
+	if m.cfg.Tracer == nil {
+		return
+	}
+	m.ruu.forEach(func(_ int, e *Entry) bool {
+		if all || e.Seq > seq {
+			m.emit(trace.StageSquash, e)
+		}
+		return true
+	})
+}
+
+// Reg returns committed architectural register r.
+func (m *Machine) Reg(r uint8) uint64 {
+	if r == isa.RegZero {
+		return 0
+	}
+	return m.regs[r]
+}
+
+// Memory exposes the committed memory image (for verification).
+func (m *Machine) Memory() *mem.Memory { return m.mem }
+
+// Halted reports whether the program's halt instruction committed.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Run simulates until the program halts or a run limit is reached, and
+// returns the final statistics.
+func (m *Machine) Run() (*Stats, error) {
+	const deadlockWindow = 200_000
+	for !m.halted && !m.stopped {
+		if m.cfg.MaxCycles > 0 && m.cycle >= m.cfg.MaxCycles {
+			break
+		}
+		if m.cfg.MaxInsts > 0 && m.stats.Committed >= m.cfg.MaxInsts {
+			break
+		}
+		m.cycle++
+		m.stats.Cycles = m.cycle
+		m.stats.RUUOccupancy += uint64(m.ruu.count)
+		m.stats.LSQOccupancy += uint64(m.lsq.count)
+
+		if err := m.commit(); err != nil {
+			return &m.stats, err
+		}
+		if m.halted || m.stopped {
+			break
+		}
+		m.writeback()
+		m.issue()
+		m.dispatch()
+		m.fetch()
+
+		if m.cycle-m.lastCommitCycle > deadlockWindow {
+			return &m.stats, fmt.Errorf("%w at cycle %d (pc %#x, ruu %d/%d)",
+				ErrDeadlock, m.cycle, m.fetchPC, m.ruu.count, m.ruu.size())
+		}
+	}
+	m.stats.Halted = m.halted
+	m.stats.Bpred = m.bp.Stats
+	m.stats.IL1 = m.caches.IL1.Stats
+	m.stats.DL1 = m.caches.DL1.Stats
+	m.stats.L2 = m.caches.L2.Stats
+	if m.injector != nil {
+		m.stats.Fault = m.injector.Stats
+	}
+	return &m.stats, nil
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+
+func (m *Machine) fetch() {
+	if m.fetchHalt || m.cycle < m.stallUntil {
+		return
+	}
+	if len(m.fetchQ) >= m.cfg.FetchQueue {
+		m.stats.FetchQueueFull++
+		return
+	}
+	// One I-cache access per fetch group; a miss stalls the front end for
+	// the full access time.
+	lat := m.caches.IFetch(m.fetchPC)
+	if lat > m.cfg.Hierarchy.IL1.HitLatency {
+		m.stallUntil = m.cycle + uint64(lat)
+		m.stats.FetchICacheStall += uint64(lat)
+		return
+	}
+	lineMask := ^uint64(m.cfg.Hierarchy.IL1.LineBytes - 1)
+	firstLine := m.fetchPC & lineMask
+	secondLine := uint64(0)
+	haveSecond := false
+	for n := 0; n < m.cfg.FetchWidth && len(m.fetchQ) < m.cfg.FetchQueue; n++ {
+		pc := m.fetchPC
+		if pc&lineMask != firstLine {
+			// Fetch may straddle one line boundary per cycle; the second
+			// line costs another I-cache access, and a third ends the
+			// group.
+			if !haveSecond {
+				haveSecond = true
+				secondLine = pc & lineMask
+				if l2 := m.caches.IFetch(pc); l2 > m.cfg.Hierarchy.IL1.HitLatency {
+					m.stallUntil = m.cycle + uint64(l2)
+					m.stats.FetchICacheStall += uint64(l2)
+					return
+				}
+			} else if pc&lineMask != secondLine {
+				break
+			}
+		}
+		in := isa.Decode(m.mem.Read(pc, isa.InstBytes))
+		fi := fetchedInst{pc: pc, inst: in}
+		if in.Info().IsCtrl() {
+			fi.pred = m.bp.Predict(pc, in)
+			fi.predNext = fi.pred.NextPC
+			m.fetchQ = append(m.fetchQ, fi)
+			m.stats.Fetched++
+			m.fetchPC = fi.predNext
+			// Table 1: one branch prediction per cycle ends the group.
+			return
+		}
+		fi.predNext = pc + isa.InstBytes
+		m.fetchQ = append(m.fetchQ, fi)
+		m.stats.Fetched++
+		m.fetchPC = pc + isa.InstBytes
+		if in.Op == isa.OpHalt {
+			// Stop fetching past the end of the program until a squash
+			// redirects the front end.
+			m.fetchHalt = true
+			return
+		}
+	}
+}
+
+// redirect clears the front end and restarts fetch at pc.
+func (m *Machine) redirect(pc uint64) {
+	m.fetchQ = m.fetchQ[:0]
+	m.fetchPC = pc
+	m.fetchHalt = false
+	m.stallUntil = m.cycle + uint64(m.cfg.RedirectPenalty)
+}
+
+// ---------------------------------------------------------------------
+// Dispatch: allocate R consecutive RUU entries per instruction, renaming
+// copy 0 through the map table and deriving copy k's tags by offset
+// (Section 3.2, "Instruction Injection").
+
+func (m *Machine) dispatch() {
+	budget := m.cfg.DispatchWidth
+	for budget >= m.cfg.R && len(m.fetchQ) > 0 {
+		fi := m.fetchQ[0]
+		oi := fi.inst.Info()
+		if m.ruu.free() < m.cfg.R {
+			m.stats.DispatchRUUFull++
+			return
+		}
+		if oi.IsMem() && m.lsq.free() < 1 {
+			m.stats.DispatchLSQFull++
+			return
+		}
+		m.fetchQ = m.fetchQ[1:]
+		m.gid++
+
+		var lsqIdx = -1
+		if oi.IsMem() {
+			lsqIdx = m.lsq.alloc()
+		}
+		var copy0 *Entry
+		for k := 0; k < m.cfg.R; k++ {
+			idx := m.ruu.alloc()
+			e := m.ruu.at(idx)
+			m.seq++
+			*e = Entry{
+				Valid:    true,
+				Seq:      m.seq,
+				GID:      m.gid,
+				Copy:     k,
+				PC:       fi.pc,
+				Inst:     fi.inst,
+				PredNext: fi.predNext,
+				LSQ:      -1,
+				FUUnit:   -1,
+			}
+			if k == 0 {
+				e.Pred = fi.pred
+				e.LSQ = lsqIdx
+				copy0 = e
+				m.renameCopy0(e)
+				if lsqIdx >= 0 {
+					*m.lsq.at(lsqIdx) = lsqEntry{
+						valid:  true,
+						seq:    e.Seq,
+						gid:    e.GID,
+						isLoad: oi.IsLoad,
+					}
+				}
+				// Writers claim the map table; reads of r0 stay constant.
+				if oi.WritesRd && fi.inst.Rd != isa.RegZero {
+					m.mapTable[fi.inst.Rd] = mapRef{valid: true, idx: idx, seq: e.Seq}
+				}
+			} else {
+				m.renameCopyK(e, copy0, k)
+			}
+			m.emit(trace.StageDispatch, e)
+			m.stats.Dispatched++
+			budget--
+		}
+	}
+}
+
+// renameCopy0 resolves copy 0's operands through the map table.
+func (m *Machine) renameCopy0(e *Entry) {
+	oi := e.Inst.Info()
+	srcs := [2]struct {
+		used bool
+		reg  uint8
+	}{
+		{oi.ReadsRs1, e.Inst.Rs1},
+		{oi.ReadsRs2, e.Inst.Rs2},
+	}
+	for i, s := range srcs {
+		op := &e.Ops[i]
+		op.Used = s.used
+		op.Ready = true
+		if !s.used {
+			continue
+		}
+		op.Reg = s.reg
+		if s.reg == isa.RegZero {
+			op.Value = 0
+			continue
+		}
+		ref := m.mapTable[s.reg]
+		if !ref.valid {
+			op.Value = m.regs[s.reg] // committed, ECC-protected value
+			continue
+		}
+		producer := m.ruu.at(ref.idx)
+		if !producer.Valid || producer.Seq != ref.seq {
+			// Stale reference (producer committed); the committed
+			// register file has the value.
+			op.Value = m.regs[s.reg]
+			continue
+		}
+		op.FromRUU = true
+		op.Producer = ref.idx
+		op.ProducerSeq = ref.seq
+		if producer.Done {
+			op.Value = producer.Result
+			continue
+		}
+		op.Ready = false
+	}
+}
+
+// renameCopyK derives copy k's operand tags from copy 0's (the paper's
+// offset rule): a producer at RUU index j becomes index j+k, keeping the
+// k-th redundant thread's dataflow inside itself. Operands that copy 0
+// read from committed state are read from the same ECC-protected source,
+// which is how protected values enter all R threads identically.
+func (m *Machine) renameCopyK(e *Entry, copy0 *Entry, k int) {
+	for i := range e.Ops {
+		src := &copy0.Ops[i]
+		op := &e.Ops[i]
+		op.Used = src.Used
+		op.Reg = src.Reg
+		op.Ready = true
+		if !src.Used {
+			continue
+		}
+		if !src.FromRUU {
+			op.Value = src.Value
+			continue
+		}
+		// This thread's producer copy completes on its own schedule,
+		// independent of copy 0's.
+		prodIdx := (src.Producer + k) % m.ruu.size()
+		producer := m.ruu.at(prodIdx)
+		op.FromRUU = true
+		op.Producer = prodIdx
+		op.ProducerSeq = producer.Seq
+		if producer.Valid && producer.Done {
+			op.Value = producer.Result
+			continue
+		}
+		op.Ready = false
+	}
+}

@@ -1,0 +1,102 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/fault"
+)
+
+// Stats aggregates everything the simulator measures in one run.
+type Stats struct {
+	Cycles uint64
+	// Committed counts architectural instructions (groups); Copies
+	// counts retired RUU entries (Committed * R in redundant mode).
+	Committed uint64
+	Copies    uint64
+
+	Fetched    uint64
+	Dispatched uint64 // RUU entries allocated
+	Issued     uint64 // RUU entries issued to functional units
+
+	// Stall accounting (cycles or events).
+	FetchICacheStall uint64 // cycles fetch waited on the I-cache
+	FetchQueueFull   uint64 // cycles fetch found the queue full
+	DispatchRUUFull  uint64 // dispatch attempts blocked by RUU space
+	DispatchLSQFull  uint64 // dispatch attempts blocked by LSQ space
+
+	// Control flow.
+	BranchRewinds uint64 // mis-speculation squashes
+	SquashedUops  uint64 // RUU entries discarded by all squashes
+
+	// Fault tolerance (Section 3.2 / 5.3).
+	FaultsDetected  uint64 // commit-stage cross-check mismatches
+	PCCheckFails    uint64 // committed next-PC continuity failures
+	FaultRewinds    uint64 // full rewinds triggered by detection
+	MajorityCommits uint64 // groups committed by majority election
+	RecoveryCycles  uint64 // cycles from each fault rewind to the next commit
+	EscapedFaults   uint64 // oracle divergences (corrupt state committed)
+
+	// Occupancy.
+	RUUOccupancy uint64 // sum over cycles of valid entries
+	LSQOccupancy uint64
+
+	Bpred bpred.Stats
+	IL1   cache.Stats
+	DL1   cache.Stats
+	L2    cache.Stats
+	Fault fault.Stats
+
+	// Output collects values written by the out instruction, in commit
+	// order.
+	Output []uint64
+	// Halted reports whether the program ran to its halt instruction.
+	Halted bool
+}
+
+// IPC returns committed architectural instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// CopyIPC returns retired RUU entries per cycle (the datapath's raw
+// throughput, R times IPC in fault-free redundant runs).
+func (s *Stats) CopyIPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Copies) / float64(s.Cycles)
+}
+
+// AvgRecoveryPenalty returns the mean number of cycles between a
+// fault-triggered rewind and the next commit — the paper's observed
+// recovery cost r (about 30 cycles for fpppp in Section 5.3).
+func (s *Stats) AvgRecoveryPenalty() float64 {
+	if s.FaultRewinds == 0 {
+		return 0
+	}
+	return float64(s.RecoveryCycles) / float64(s.FaultRewinds)
+}
+
+// AvgRUUOccupancy returns the mean number of valid RUU entries per cycle.
+func (s *Stats) AvgRUUOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.RUUOccupancy) / float64(s.Cycles)
+}
+
+// Summary renders the headline numbers.
+func (s *Stats) Summary() string {
+	return fmt.Sprintf(
+		"cycles=%d insts=%d IPC=%.3f copyIPC=%.3f bpredMR=%.3f dl1MR=%.3f "+
+			"branchRewinds=%d faultsDetected=%d faultRewinds=%d majority=%d escaped=%d avgRecovery=%.1f",
+		s.Cycles, s.Committed, s.IPC(), s.CopyIPC(),
+		s.Bpred.MispredictRate(), s.DL1.MissRate(),
+		s.BranchRewinds, s.FaultsDetected, s.FaultRewinds,
+		s.MajorityCommits, s.EscapedFaults, s.AvgRecoveryPenalty())
+}

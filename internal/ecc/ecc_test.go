@@ -1,0 +1,130 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	f := func(data uint64) bool {
+		got, st := Decode(Encode(data))
+		return st == OK && got == data
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleDataBitCorrection exhaustively flips each of the 64 data bits
+// for several payloads and requires exact correction.
+func TestSingleDataBitCorrection(t *testing.T) {
+	payloads := []uint64{0, ^uint64(0), 0xDEAD_BEEF_CAFE_F00D, 1, 1 << 63, 0x5555_5555_5555_5555}
+	for _, data := range payloads {
+		w := Encode(data)
+		for i := uint(0); i < 64; i++ {
+			got, st := Decode(FlipDataBit(w, i))
+			if st != Corrected {
+				t.Fatalf("data=%#x bit %d: status %v, want Corrected", data, i, st)
+			}
+			if got != data {
+				t.Fatalf("data=%#x bit %d: corrected to %#x", data, i, got)
+			}
+		}
+	}
+}
+
+// TestSingleCheckBitCorrection flips each of the 8 check bits; data must
+// survive untouched.
+func TestSingleCheckBitCorrection(t *testing.T) {
+	data := uint64(0x0123_4567_89AB_CDEF)
+	w := Encode(data)
+	for j := uint(0); j < 8; j++ {
+		got, st := Decode(FlipCheckBit(w, j))
+		if st != Corrected {
+			t.Fatalf("check bit %d: status %v, want Corrected", j, st)
+		}
+		if got != data {
+			t.Fatalf("check bit %d: data corrupted to %#x", j, got)
+		}
+	}
+}
+
+// TestDoubleBitDetection verifies that all double flips (data+data,
+// data+check, check+check) are flagged Uncorrectable, by property test.
+func TestDoubleBitDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5000; trial++ {
+		data := rng.Uint64()
+		w := Encode(data)
+		// Choose two distinct bit positions out of the 72 used.
+		i := uint(rng.Intn(72))
+		j := uint(rng.Intn(72))
+		if i == j {
+			continue
+		}
+		flip := func(w Word, p uint) Word {
+			if p < 64 {
+				return FlipDataBit(w, p)
+			}
+			return FlipCheckBit(w, p-64)
+		}
+		_, st := Decode(flip(flip(w, i), j))
+		if st != Uncorrectable {
+			t.Fatalf("double flip (%d,%d) on %#x: status %v, want Uncorrectable", i, j, data, st)
+		}
+	}
+}
+
+func TestDataPositionsDistinct(t *testing.T) {
+	seen := make(map[uint]bool)
+	for _, p := range dataPos {
+		if p == 0 || p > 72 {
+			t.Fatalf("position %d out of range", p)
+		}
+		if p&(p-1) == 0 {
+			t.Fatalf("data bit at check position %d", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate position %d", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestReg(t *testing.T) {
+	var r Reg
+	r.Set(0xFEED_FACE_DEAD_BEEF)
+	v, ok := r.Get()
+	if !ok || v != 0xFEED_FACE_DEAD_BEEF {
+		t.Fatalf("clean get = %#x, %v", v, ok)
+	}
+	// Upset a bit; the next read corrects and scrubs.
+	r.Upset(17)
+	v, ok = r.Get()
+	if !ok || v != 0xFEED_FACE_DEAD_BEEF {
+		t.Fatalf("post-upset get = %#x, %v", v, ok)
+	}
+	if r.CorrectedCount != 1 {
+		t.Errorf("corrected count = %d, want 1", r.CorrectedCount)
+	}
+	// After scrubbing, another upset is again correctable.
+	r.Upset(3)
+	if v, ok = r.Get(); !ok || v != 0xFEED_FACE_DEAD_BEEF {
+		t.Fatalf("second upset get = %#x, %v", v, ok)
+	}
+	// A double upset without an intervening read is uncorrectable.
+	r.Upset(3)
+	r.Upset(40)
+	if _, ok = r.Get(); ok {
+		t.Error("double upset not detected")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{OK: "ok", Corrected: "corrected", Uncorrectable: "uncorrectable", Status(9): "unknown"} {
+		if st.String() != want {
+			t.Errorf("Status(%d).String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}

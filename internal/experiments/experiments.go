@@ -1,0 +1,295 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, plus the Section 5.2 sensitivity study and two
+// ablations. Each driver returns structured results (so tests can assert
+// the paper's qualitative claims) and has a Print companion that renders
+// the same rows a reader would compare against the paper.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/funcsim"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options bounds the simulations.
+type Options struct {
+	// MaxInsts is the committed-instruction budget per simulation run
+	// (the paper simulates 1B per benchmark; the default here keeps the
+	// full suite interactive).
+	MaxInsts uint64
+	// FaultSeed seeds fault injection where applicable.
+	FaultSeed int64
+}
+
+// Defaults fills zero fields.
+func (o Options) defaults() Options {
+	if o.MaxInsts == 0 {
+		o.MaxInsts = 200_000
+	}
+	if o.FaultSeed == 0 {
+		o.FaultSeed = 1
+	}
+	return o
+}
+
+// workloadIters is the loop bound baked into generated benchmarks; runs
+// are always cut off by MaxInsts first.
+const workloadIters = int64(1) << 32
+
+// runBench simulates one benchmark on one machine configuration.
+func runBench(p workload.Profile, cfg core.Config, opt Options) (*cpu.Stats, error) {
+	program, err := p.Build(workloadIters)
+	if err != nil {
+		return nil, err
+	}
+	cfg.MaxInsts = opt.MaxInsts
+	cfg.MaxCycles = opt.MaxInsts * 100 // generous safety net
+	return core.Run(program, cfg)
+}
+
+// ---------------------------------------------------------------------
+// Table 1: machine parameters (configuration echo).
+
+// PrintTable1 renders the simulated machine parameters, mirroring the
+// paper's Table 1.
+func PrintTable1(w io.Writer) {
+	cfg := core.SS1().CPU
+	t := stats.NewTable("Table 1: baseline superscalar machine parameters", "parameter", "value")
+	t.Add("fetch/decode/issue/commit width", fmt.Sprintf("%d / %d / %d / %d",
+		cfg.FetchWidth, cfg.DispatchWidth, cfg.IssueWidth, cfg.CommitWidth))
+	t.Add("RUU / LSQ size", fmt.Sprintf("%d / %d", cfg.RUUSize, cfg.LSQSize))
+	t.Add("branch predictor", cfg.Bpred.String())
+	t.Add("IL1", cfg.Hierarchy.IL1.String())
+	t.Add("DL1", cfg.Hierarchy.DL1.String()+fmt.Sprintf(", %d R/W ports", cfg.MemPorts))
+	t.Add("UL2", cfg.Hierarchy.L2.String())
+	t.Add("memory latency", fmt.Sprintf("%d cycles", cfg.Hierarchy.MemLatency))
+	t.Add("functional units", fmt.Sprintf("%d IntALU, %d IntMult/Div, %d FPAdd, %d FPMult/Div",
+		cfg.IntALU, cfg.IntMult, cfg.FPAdd, cfg.FPMult))
+	t.Render(w)
+}
+
+// ---------------------------------------------------------------------
+// Table 2: benchmark dynamic instruction mixes.
+
+// MixRow compares a benchmark's measured dynamic mix with its Table 2
+// target.
+type MixRow struct {
+	Bench    string
+	Measured funcsim.Mix
+	Profile  workload.Profile
+}
+
+// Table2 measures each synthetic benchmark's dynamic mix on the
+// functional simulator.
+func Table2(opt Options) ([]MixRow, error) {
+	opt = opt.defaults()
+	rows := make([]MixRow, 0, 11)
+	for _, p := range workload.Table2() {
+		program, err := p.Build(workloadIters)
+		if err != nil {
+			return nil, err
+		}
+		m := funcsim.New(program)
+		if err := m.Run(opt.MaxInsts); err != nil && err != funcsim.ErrLimit {
+			return nil, fmt.Errorf("table2 %s: %w", p.Name, err)
+		}
+		rows = append(rows, MixRow{Bench: p.Name, Measured: m.Mix(), Profile: p})
+	}
+	return rows, nil
+}
+
+// PrintTable2 renders measured-vs-target mixes.
+func PrintTable2(w io.Writer, rows []MixRow) {
+	t := stats.NewTable("Table 2: dynamic instruction mix (measured / paper)",
+		"bench", "%mem", "%int", "%fp add", "%fp mult", "%fp div")
+	for _, r := range rows {
+		cell := func(got, want float64) string {
+			return fmt.Sprintf("%5.2f / %5.2f", got, want)
+		}
+		t.Add(r.Bench,
+			cell(r.Measured.MemPct, r.Profile.MemPct),
+			cell(r.Measured.IntPct, r.Profile.IntPct),
+			cell(r.Measured.FAdd, r.Profile.FAddPct),
+			cell(r.Measured.FMul, r.Profile.FMulPct),
+			cell(r.Measured.FDiv, r.Profile.FDivPct))
+	}
+	t.Render(w)
+}
+
+// ---------------------------------------------------------------------
+// Figures 3 and 4: analytical IPC vs fault frequency.
+
+// Curves holds the analytic series of Figure 3 or 4.
+type Curves struct {
+	Rewind float64 // cycles
+	Freqs  []float64
+	R2     []model.Point
+	R3     []model.Point
+	R3Maj  []model.Point
+}
+
+// Fig3 evaluates the Section 4 model with the paper's Figure 3
+// parameters: IPC1 = B normalised to 1, rewind penalty 20 cycles.
+func Fig3() Curves { return analyticCurves(20) }
+
+// Fig4 is Figure 3 with the rewind penalty raised to 2000 cycles,
+// modelling coarse-grain checkpoint recovery.
+func Fig4() Curves { return analyticCurves(2000) }
+
+func analyticCurves(rw float64) Curves {
+	freqs := model.LogSpace(1e-8, 1e-1, 29)
+	mk := func(r int, maj bool) []model.Point {
+		return model.Curve(model.CurveConfig{IPC1: 1, B: 1, R: r, Majority: maj, Rewind: rw}, freqs)
+	}
+	return Curves{
+		Rewind: rw,
+		Freqs:  freqs,
+		R2:     mk(2, false),
+		R3:     mk(3, false),
+		R3Maj:  mk(3, true),
+	}
+}
+
+// PrintCurves renders an analytic figure as columns.
+func PrintCurves(w io.Writer, title string, c Curves) {
+	t := stats.NewTable(title, "faults/inst", "IPC R=2", "IPC R=3", "IPC R=3 majority")
+	for i := range c.Freqs {
+		t.Add(fmt.Sprintf("%.1e", c.Freqs[i]), stats.F(c.R2[i].IPC, 3),
+			stats.F(c.R3[i].IPC, 3), stats.F(c.R3Maj[i].IPC, 3))
+	}
+	t.Render(w)
+}
+
+// ---------------------------------------------------------------------
+// Figure 5: steady-state IPC of SS-1, Static-2 and SS-2.
+
+// Fig5Row is one benchmark's bar group in Figure 5.
+type Fig5Row struct {
+	Bench   string
+	SS1     float64
+	Static2 float64
+	SS2     float64
+	// Penalty is the SS-2 throughput loss relative to SS-1 (the paper's
+	// 2%-45% range, 30% average).
+	Penalty float64
+}
+
+// Fig5 runs the three machine models over the 11 benchmarks.
+func Fig5(opt Options) ([]Fig5Row, error) {
+	opt = opt.defaults()
+	rows := make([]Fig5Row, 0, 11)
+	for _, p := range workload.Table2() {
+		ss1, err := runBench(p, core.SS1(), opt)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s SS-1: %w", p.Name, err)
+		}
+		st2, err := runBench(p, core.Static2(), opt)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s Static-2: %w", p.Name, err)
+		}
+		ss2, err := runBench(p, core.SS2(), opt)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s SS-2: %w", p.Name, err)
+		}
+		row := Fig5Row{Bench: p.Name, SS1: ss1.IPC(), Static2: st2.IPC(), SS2: ss2.IPC()}
+		if row.SS1 > 0 {
+			row.Penalty = 1 - row.SS2/row.SS1
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// MeanPenalty returns the average SS-2 throughput penalty across rows.
+func MeanPenalty(rows []Fig5Row) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.Penalty
+	}
+	return sum / float64(len(rows))
+}
+
+// PrintFig5 renders the steady-state IPC comparison.
+func PrintFig5(w io.Writer, rows []Fig5Row) {
+	t := stats.NewTable("Figure 5: steady-state IPC comparison",
+		"bench", "SS-1", "Static-2", "SS-2", "SS-2 penalty")
+	for _, r := range rows {
+		t.Add(r.Bench, stats.F(r.SS1, 3), stats.F(r.Static2, 3), stats.F(r.SS2, 3), stats.Pct(r.Penalty))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "  mean SS-2 penalty: %s (paper: 2%%-45%%, ~30%% average)\n", stats.Pct(MeanPenalty(rows)))
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: simulated IPC vs fault frequency (fpppp).
+
+// Fig6Row is one fault-frequency sample.
+type Fig6Row struct {
+	FaultsPerM float64 // faults per million instruction copies
+	R2IPC      float64
+	R3IPC      float64
+	R2Rewinds  uint64
+	R3Rewinds  uint64
+	R3Majority uint64
+	R2Recovery float64 // average cycles per recovery
+}
+
+// Fig6 sweeps the fault-injection rate for one benchmark (the paper uses
+// fpppp) on the R=2 rewind design and the R=3 majority design.
+func Fig6(bench string, opt Options) ([]Fig6Row, error) {
+	opt = opt.defaults()
+	p, ok := workload.ByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("fig6: unknown benchmark %q", bench)
+	}
+	ratesPerM := []float64{0, 1, 10, 100, 1000, 5000, 10_000, 20_000, 50_000, 100_000}
+	rows := make([]Fig6Row, 0, len(ratesPerM))
+	for _, rm := range ratesPerM {
+		fc := fault.Config{Rate: rm / 1e6, Seed: opt.FaultSeed, Targets: fault.AllTargets}
+
+		ss2 := core.SS2()
+		ss2.Fault = fc
+		st2, err := runBench(p, ss2, opt)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 SS-2 @%g: %w", rm, err)
+		}
+		ss3 := core.SS3()
+		ss3.Fault = fc
+		st3, err := runBench(p, ss3, opt)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 SS-3 @%g: %w", rm, err)
+		}
+		rows = append(rows, Fig6Row{
+			FaultsPerM: rm,
+			R2IPC:      st2.IPC(),
+			R3IPC:      st3.IPC(),
+			R2Rewinds:  st2.FaultRewinds,
+			R3Rewinds:  st3.FaultRewinds,
+			R3Majority: st3.MajorityCommits,
+			R2Recovery: st2.AvgRecoveryPenalty(),
+		})
+	}
+	return rows, nil
+}
+
+// PrintFig6 renders the fault-frequency sweep.
+func PrintFig6(w io.Writer, bench string, rows []Fig6Row) {
+	t := stats.NewTable(fmt.Sprintf("Figure 6: IPC vs fault frequency (%s)", bench),
+		"faults/M-inst", "IPC R=2", "IPC R=3 maj", "R2 rewinds", "R3 rewinds", "R3 elected", "R2 avg recovery")
+	for _, r := range rows {
+		t.Add(stats.F(r.FaultsPerM, 0), stats.F(r.R2IPC, 3), stats.F(r.R3IPC, 3),
+			fmt.Sprintf("%d", r.R2Rewinds), fmt.Sprintf("%d", r.R3Rewinds),
+			fmt.Sprintf("%d", r.R3Majority), stats.F(r.R2Recovery, 1))
+	}
+	t.Render(w)
+}

@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Limiter classifies what bounds a benchmark's baseline throughput,
+// reproducing the Section 5.2 analysis ("we test the benchmark's
+// sensitivity to varying numbers of functional units and RUU sizes").
+type Limiter string
+
+const (
+	// LimitFU: doubling the functional units raises IPC materially; the
+	// benchmark saturates Table 1's unit mix, so redundant injection is
+	// expensive (gcc, vortex, bzip, ijpeg, fpppp...).
+	LimitFU Limiter = "FU-limited"
+	// LimitRUU: enlarging the window raises IPC materially (swim).
+	LimitRUU Limiter = "RUU-limited"
+	// LimitILP: nearly insensitive to both; throughput is bound by the
+	// program's own dependences and branches, so the second thread rides
+	// along almost free (go, vpr, ammp).
+	LimitILP Limiter = "ILP-limited"
+)
+
+// SensRow holds one benchmark's resource-sensitivity sweep: baseline IPC
+// and the IPC with functional units and window scaled by 0.5x, 2x and
+// "infinite" (16x).
+type SensRow struct {
+	Bench   string
+	Base    float64
+	FUHalf  float64
+	FU2x    float64
+	FUInf   float64
+	RUUHalf float64
+	RUU2x   float64
+	RUUInf  float64
+	Limiter Limiter
+	FUGain  float64 // FU2x/Base - 1
+	RUUGain float64 // RUU2x/Base - 1
+}
+
+// scaleFU multiplies every functional-unit pool (minimum 1 unit each).
+func scaleFU(cfg core.Config, factor float64) core.Config {
+	mul := func(n int) int {
+		v := int(float64(n)*factor + 0.5)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	cfg.CPU.IntALU = mul(cfg.CPU.IntALU)
+	cfg.CPU.IntMult = mul(cfg.CPU.IntMult)
+	cfg.CPU.FPAdd = mul(cfg.CPU.FPAdd)
+	cfg.CPU.FPMult = mul(cfg.CPU.FPMult)
+	cfg.CPU.MemPorts = mul(cfg.CPU.MemPorts)
+	return cfg
+}
+
+// scaleWindow multiplies the RUU and LSQ sizes.
+func scaleWindow(cfg core.Config, factor float64) core.Config {
+	cfg.CPU.RUUSize = int(float64(cfg.CPU.RUUSize) * factor)
+	cfg.CPU.LSQSize = int(float64(cfg.CPU.LSQSize) * factor)
+	return cfg
+}
+
+// Sensitivity reproduces the Section 5.2 study on the baseline machine.
+func Sensitivity(opt Options) ([]SensRow, error) {
+	opt = opt.defaults()
+	const gainThreshold = 0.08
+	rows := make([]SensRow, 0, 11)
+	for _, p := range workload.Table2() {
+		row := SensRow{Bench: p.Name}
+		runs := []struct {
+			dst *float64
+			cfg core.Config
+		}{
+			{&row.Base, core.SS1()},
+			{&row.FUHalf, scaleFU(core.SS1(), 0.5)},
+			{&row.FU2x, scaleFU(core.SS1(), 2)},
+			{&row.FUInf, scaleFU(core.SS1(), 16)},
+			{&row.RUUHalf, scaleWindow(core.SS1(), 0.5)},
+			{&row.RUU2x, scaleWindow(core.SS1(), 2)},
+			{&row.RUUInf, scaleWindow(core.SS1(), 16)},
+		}
+		for _, r := range runs {
+			st, err := runBench(p, r.cfg, opt)
+			if err != nil {
+				return nil, fmt.Errorf("sensitivity %s: %w", p.Name, err)
+			}
+			*r.dst = st.IPC()
+		}
+		if row.Base > 0 {
+			row.FUGain = row.FU2x/row.Base - 1
+			row.RUUGain = row.RUU2x/row.Base - 1
+		}
+		// Classify by the stronger lever; below the threshold the
+		// benchmark is bound by its own ILP, not the machine.
+		switch {
+		case row.FUGain >= gainThreshold && row.FUGain >= row.RUUGain:
+			row.Limiter = LimitFU
+		case row.RUUGain >= gainThreshold:
+			row.Limiter = LimitRUU
+		default:
+			row.Limiter = LimitILP
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintSensitivity renders the resource-sensitivity study.
+func PrintSensitivity(w io.Writer, rows []SensRow) {
+	t := stats.NewTable("Section 5.2: sensitivity to functional units and RUU size (IPC)",
+		"bench", "base", "FU 0.5x", "FU 2x", "FU 16x", "RUU 0.5x", "RUU 2x", "RUU 16x", "limiter")
+	for _, r := range rows {
+		t.Add(r.Bench, stats.F(r.Base, 3), stats.F(r.FUHalf, 3), stats.F(r.FU2x, 3),
+			stats.F(r.FUInf, 3), stats.F(r.RUUHalf, 3), stats.F(r.RUU2x, 3),
+			stats.F(r.RUUInf, 3), string(r.Limiter))
+	}
+	t.Render(w)
+}
+
+// ---------------------------------------------------------------------
+// Ablations.
+
+// CoSchedRow compares SS-2 with and without co-scheduling redundant
+// copies on distinct functional-unit instances (Section 3.5).
+type CoSchedRow struct {
+	Bench      string
+	IPCBase    float64
+	IPCCoSched float64
+}
+
+// AblateCoSchedule measures the throughput cost of forcing copies onto
+// distinct physical units.
+func AblateCoSchedule(benches []string, opt Options) ([]CoSchedRow, error) {
+	opt = opt.defaults()
+	rows := make([]CoSchedRow, 0, len(benches))
+	for _, name := range benches {
+		p, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("ablate-cosched: unknown benchmark %q", name)
+		}
+		base, err := runBench(p, core.SS2(), opt)
+		if err != nil {
+			return nil, err
+		}
+		cs := core.SS2()
+		cs.CoSchedule = true
+		with, err := runBench(p, cs, opt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CoSchedRow{Bench: name, IPCBase: base.IPC(), IPCCoSched: with.IPC()})
+	}
+	return rows, nil
+}
+
+// PrintCoSchedule renders the co-scheduling ablation.
+func PrintCoSchedule(w io.Writer, rows []CoSchedRow) {
+	t := stats.NewTable("Ablation: co-scheduling redundant copies on distinct FUs (SS-2)",
+		"bench", "IPC default", "IPC co-scheduled", "delta")
+	for _, r := range rows {
+		delta := 0.0
+		if r.IPCBase > 0 {
+			delta = r.IPCCoSched/r.IPCBase - 1
+		}
+		t.Add(r.Bench, stats.F(r.IPCBase, 3), stats.F(r.IPCCoSched, 3), stats.Pct(delta))
+	}
+	t.Render(w)
+}
+
+// CommitWidthRow measures how the commit-bandwidth tax of Section 3.2
+// ("the effective commit/retire bandwidth is reduced by a factor of R")
+// depends on the provisioned width.
+type CommitWidthRow struct {
+	Width int
+	IPC1  float64
+	IPC2  float64
+}
+
+// AblateCommitWidth sweeps the commit width for one benchmark on SS-1
+// and SS-2.
+func AblateCommitWidth(bench string, widths []int, opt Options) ([]CommitWidthRow, error) {
+	opt = opt.defaults()
+	p, ok := workload.ByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("ablate-commit: unknown benchmark %q", bench)
+	}
+	rows := make([]CommitWidthRow, 0, len(widths))
+	for _, wd := range widths {
+		c1 := core.SS1()
+		c1.CPU.CommitWidth = wd
+		st1, err := runBench(p, c1, opt)
+		if err != nil {
+			return nil, err
+		}
+		c2 := core.SS2()
+		c2.CPU.CommitWidth = wd
+		st2, err := runBench(p, c2, opt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CommitWidthRow{Width: wd, IPC1: st1.IPC(), IPC2: st2.IPC()})
+	}
+	return rows, nil
+}
+
+// PrintCommitWidth renders the commit-width ablation.
+func PrintCommitWidth(w io.Writer, bench string, rows []CommitWidthRow) {
+	t := stats.NewTable(fmt.Sprintf("Ablation: commit width vs redundancy tax (%s)", bench),
+		"commit width", "SS-1 IPC", "SS-2 IPC", "SS-2/SS-1")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.IPC1 > 0 {
+			ratio = r.IPC2 / r.IPC1
+		}
+		t.Add(fmt.Sprintf("%d", r.Width), stats.F(r.IPC1, 3), stats.F(r.IPC2, 3), stats.F(ratio, 3))
+	}
+	t.Render(w)
+}
+
+// RecoveryGrainRow compares fine-grain rewind recovery with coarser
+// schemes at one fault rate — the simulated counterpart of the
+// Figure 3 / Figure 4 analytic comparison.
+type RecoveryGrainRow struct {
+	Penalty    int // extra cycles per recovery (0 = fine-grain rewind)
+	IPC        float64
+	Rewinds    uint64
+	AvgPenalty float64 // measured cycles per recovery
+}
+
+// AblateRecoveryGrain sweeps the per-recovery penalty for one benchmark
+// on SS-2 at a fixed fault rate.
+func AblateRecoveryGrain(bench string, faultsPerM float64, penalties []int, opt Options) ([]RecoveryGrainRow, error) {
+	opt = opt.defaults()
+	p, ok := workload.ByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("ablate-recovery: unknown benchmark %q", bench)
+	}
+	rows := make([]RecoveryGrainRow, 0, len(penalties))
+	for _, pen := range penalties {
+		cfg := core.SS2()
+		cfg.Fault = fault.Config{Rate: faultsPerM / 1e6, Seed: opt.FaultSeed, Targets: fault.AllTargets}
+		cfg.RecoveryPenalty = pen
+		st, err := runBench(p, cfg, opt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RecoveryGrainRow{
+			Penalty:    pen,
+			IPC:        st.IPC(),
+			Rewinds:    st.FaultRewinds,
+			AvgPenalty: st.AvgRecoveryPenalty(),
+		})
+	}
+	return rows, nil
+}
+
+// PrintRecoveryGrain renders the recovery-granularity ablation.
+func PrintRecoveryGrain(w io.Writer, bench string, faultsPerM float64, rows []RecoveryGrainRow) {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: recovery granularity (%s, %.0f faults/M copies, SS-2)", bench, faultsPerM),
+		"extra penalty", "measured cycles/recovery", "rewinds", "IPC")
+	for _, r := range rows {
+		t.Add(fmt.Sprintf("%d", r.Penalty), stats.F(r.AvgPenalty, 1),
+			fmt.Sprintf("%d", r.Rewinds), stats.F(r.IPC, 3))
+	}
+	t.Render(w)
+}

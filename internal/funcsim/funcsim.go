@@ -1,0 +1,239 @@
+// Package funcsim implements the in-order functional SRISC simulator.
+//
+// It serves two roles, both taken from the paper's Section 5.1.1:
+//
+//   - the reference semantics for the ISA, used by unit tests; and
+//   - the "sanity check" oracle: a second committed architectural state,
+//     advanced in-order and non-speculatively, that the out-of-order
+//     simulator's committed stream is compared against instruction by
+//     instruction to prove that error detection caught every injected
+//     fault and that recovery restored a good state.
+package funcsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// ErrLimit is returned by Run when the instruction budget is exhausted
+// before the program halts.
+var ErrLimit = errors.New("funcsim: instruction limit reached")
+
+// Effect records the complete architectural effect of one instruction.
+// The out-of-order simulator produces the same structure at commit time so
+// the two streams can be compared field by field.
+type Effect struct {
+	PC     uint64
+	Inst   isa.Inst
+	NextPC uint64
+
+	WritesReg bool
+	Reg       uint8
+	RegVal    uint64
+
+	IsLoad   bool
+	IsStore  bool
+	MemAddr  uint64
+	MemSize  int
+	StoreVal uint64
+
+	Out    bool
+	OutVal uint64
+
+	Halted bool
+}
+
+// Mismatch describes the first field in which two effects differ; empty
+// string means they agree.
+func (e Effect) Mismatch(o Effect) string {
+	switch {
+	case e.PC != o.PC:
+		return fmt.Sprintf("pc %#x vs %#x", e.PC, o.PC)
+	case e.Inst != o.Inst:
+		return fmt.Sprintf("inst %v vs %v", e.Inst, o.Inst)
+	case e.NextPC != o.NextPC:
+		return fmt.Sprintf("next-pc %#x vs %#x", e.NextPC, o.NextPC)
+	case e.WritesReg != o.WritesReg || (e.WritesReg && (e.Reg != o.Reg || e.RegVal != o.RegVal)):
+		return fmt.Sprintf("reg write %v/%s=%#x vs %v/%s=%#x",
+			e.WritesReg, isa.RegName(e.Reg), e.RegVal, o.WritesReg, isa.RegName(o.Reg), o.RegVal)
+	case e.IsStore != o.IsStore || (e.IsStore && (e.MemAddr != o.MemAddr || e.MemSize != o.MemSize || e.StoreVal != o.StoreVal)):
+		return fmt.Sprintf("store %v@%#x=%#x vs %v@%#x=%#x",
+			e.IsStore, e.MemAddr, e.StoreVal, o.IsStore, o.MemAddr, o.StoreVal)
+	case e.IsLoad != o.IsLoad || (e.IsLoad && e.MemAddr != o.MemAddr):
+		return fmt.Sprintf("load %v@%#x vs %v@%#x", e.IsLoad, e.MemAddr, o.IsLoad, o.MemAddr)
+	case e.Out != o.Out || (e.Out && e.OutVal != o.OutVal):
+		return fmt.Sprintf("out %v=%#x vs %v=%#x", e.Out, e.OutVal, o.Out, o.OutVal)
+	case e.Halted != o.Halted:
+		return fmt.Sprintf("halted %v vs %v", e.Halted, o.Halted)
+	}
+	return ""
+}
+
+// Machine is an in-order functional SRISC machine.
+type Machine struct {
+	Regs [isa.NumRegs]uint64
+	PC   uint64
+	Mem  *mem.Memory
+
+	Halted bool
+	// Output collects values written by the out instruction.
+	Output []uint64
+	// Insts is the number of instructions executed.
+	Insts uint64
+
+	opCounts [isa.NumOps]uint64
+}
+
+// New loads the program into a fresh memory and returns a machine ready to
+// run, with the stack pointer initialised.
+func New(p *prog.Program) *Machine {
+	m := mem.New()
+	entry := p.LoadInto(m)
+	return NewWithMemory(m, entry)
+}
+
+// NewWithMemory wraps an already-loaded memory image.
+func NewWithMemory(m *mem.Memory, entry uint64) *Machine {
+	fm := &Machine{Mem: m, PC: entry}
+	fm.Regs[isa.RegSP] = prog.StackTop
+	return fm
+}
+
+// Reg returns the value of architectural register r, applying the
+// hardwired-zero rule for r0.
+func (m *Machine) Reg(r uint8) uint64 {
+	if r == isa.RegZero {
+		return 0
+	}
+	return m.Regs[r]
+}
+
+func (m *Machine) setReg(r uint8, v uint64) {
+	if r != isa.RegZero {
+		m.Regs[r] = v
+	}
+}
+
+// Step executes a single instruction and returns its architectural effect.
+// Stepping a halted machine is an error.
+func (m *Machine) Step() (Effect, error) {
+	if m.Halted {
+		return Effect{}, errors.New("funcsim: step after halt")
+	}
+	word := m.Mem.Read(m.PC, isa.InstBytes)
+	in, ok := isa.DecodeStrict(word)
+	if !ok {
+		return Effect{}, fmt.Errorf("funcsim: illegal instruction %#016x at pc %#x", word, m.PC)
+	}
+	eff := Effect{PC: m.PC, Inst: in, NextPC: m.PC + isa.InstBytes}
+	oi := in.Info()
+	a, b := m.Reg(in.Rs1), m.Reg(in.Rs2)
+
+	switch {
+	case in.Op == isa.OpHalt:
+		eff.Halted = true
+		m.Halted = true
+	case in.Op == isa.OpOut:
+		eff.Out, eff.OutVal = true, a
+		m.Output = append(m.Output, a)
+	case oi.IsLoad:
+		size, signExt := isa.LoadWidth(in.Op)
+		addr := isa.EffAddr(in.Imm, a)
+		val := m.Mem.Read(addr, size)
+		if signExt {
+			val = isa.SignExtend(val, size)
+		}
+		eff.IsLoad, eff.MemAddr, eff.MemSize = true, addr, size
+		eff.WritesReg, eff.Reg, eff.RegVal = true, in.Rd, val
+		m.setReg(in.Rd, val)
+	case oi.IsStore:
+		size, _ := isa.LoadWidth(in.Op)
+		addr := isa.EffAddr(in.Imm, a)
+		eff.IsStore, eff.MemAddr, eff.MemSize, eff.StoreVal = true, addr, size, b
+		m.Mem.Write(addr, size, b)
+	case oi.IsCtrl():
+		_, next, link := isa.EvalCtrl(in.Op, m.PC, in.Imm, a, b)
+		eff.NextPC = next
+		if oi.WritesRd {
+			eff.WritesReg, eff.Reg, eff.RegVal = true, in.Rd, link
+			m.setReg(in.Rd, link)
+		}
+	case oi.WritesRd:
+		val := isa.Eval(in.Op, in.Imm, a, b)
+		eff.WritesReg, eff.Reg, eff.RegVal = true, in.Rd, val
+		m.setReg(in.Rd, val)
+	}
+	// The hardwired zero register absorbs writes; report the architectural
+	// truth (no visible write) so oracle comparison is exact.
+	if eff.WritesReg && eff.Reg == isa.RegZero {
+		eff.WritesReg, eff.RegVal = false, 0
+	}
+	m.PC = eff.NextPC
+	m.Insts++
+	m.opCounts[in.Op]++
+	return eff, nil
+}
+
+// Run executes until the program halts or limit instructions have been
+// executed (limit 0 means no limit). It returns ErrLimit if the budget was
+// exhausted first.
+func (m *Machine) Run(limit uint64) error {
+	for !m.Halted {
+		if limit > 0 && m.Insts >= limit {
+			return ErrLimit
+		}
+		if _, err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Mix summarises the dynamic instruction mix in the categories of the
+// paper's Table 2. Percentages are of all executed instructions.
+type Mix struct {
+	Insts  uint64
+	MemPct float64 // loads + stores
+	IntPct float64 // integer ALU/mult/div, branches, jumps, nop/halt/out
+	FAdd   float64 // FP add/sub/compare/convert
+	FMul   float64 // FP multiply
+	FDiv   float64 // FP divide and sqrt
+}
+
+// Mix returns the dynamic instruction mix observed so far.
+func (m *Machine) Mix() Mix {
+	var mix Mix
+	var mem, intg, fadd, fmul, fdiv uint64
+	for op := isa.Op(0); op < isa.NumOps; op++ {
+		n := m.opCounts[op]
+		if n == 0 {
+			continue
+		}
+		oi := isa.Info(op)
+		switch {
+		case oi.IsMem():
+			mem += n
+		case op == isa.OpFdiv || op == isa.OpFsqrt:
+			fdiv += n
+		case oi.Pool == isa.PoolFPMult:
+			fmul += n
+		case oi.Pool == isa.PoolFPAdd:
+			fadd += n
+		default:
+			intg += n
+		}
+	}
+	total := mem + intg + fadd + fmul + fdiv
+	mix.Insts = total
+	if total == 0 {
+		return mix
+	}
+	pct := func(n uint64) float64 { return 100 * float64(n) / float64(total) }
+	mix.MemPct, mix.IntPct, mix.FAdd, mix.FMul, mix.FDiv =
+		pct(mem), pct(intg), pct(fadd), pct(fmul), pct(fdiv)
+	return mix
+}

@@ -1,0 +1,267 @@
+package funcsim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// sumProgram computes sum(1..n) in r3 and outputs it.
+func sumProgram(n int64) *prog.Program {
+	b := prog.NewBuilder("sum")
+	b.Li(1, n) // r1 = n (counter)
+	b.Li(3, 0) // r3 = acc
+	b.Label("loop")
+	b.R(isa.OpAdd, 3, 3, 1)   // acc += counter
+	b.I(isa.OpAddi, 1, 1, -1) // counter--
+	b.Branch(isa.OpBne, 1, 0, "loop")
+	b.Out(3)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestSumLoop(t *testing.T) {
+	m := New(sumProgram(100))
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Output) != 1 || m.Output[0] != 5050 {
+		t.Fatalf("output = %v, want [5050]", m.Output)
+	}
+	if !m.Halted {
+		t.Error("machine not halted")
+	}
+	// 2 setup + 100 iterations * 3 + out + halt.
+	if want := uint64(2 + 300 + 2); m.Insts != want {
+		t.Errorf("executed %d instructions, want %d", m.Insts, want)
+	}
+}
+
+func TestFibonacci(t *testing.T) {
+	b := prog.NewBuilder("fib")
+	b.Li(1, 0) // fib(0)
+	b.Li(2, 1) // fib(1)
+	b.Li(4, 20)
+	b.Label("loop")
+	b.R(isa.OpAdd, 3, 1, 2)
+	b.R(isa.OpAdd, 1, 2, 0) // r1 = r2
+	b.R(isa.OpAdd, 2, 3, 0) // r2 = r3
+	b.I(isa.OpAddi, 4, 4, -1)
+	b.Branch(isa.OpBne, 4, 0, "loop")
+	b.Out(2)
+	b.Halt()
+	m := New(b.MustBuild())
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output[0] != 10946 { // fib(21)
+		t.Errorf("fib = %d, want 10946", m.Output[0])
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	b := prog.NewBuilder("mem")
+	arr := b.Word(10, 20, 30, 40)
+	b.Li(1, int64(arr))
+	b.Load(isa.OpLd, 2, 1, 8)  // r2 = arr[1] = 20
+	b.Load(isa.OpLd, 3, 1, 24) // r3 = arr[3] = 40
+	b.R(isa.OpAdd, 4, 2, 3)    // 60
+	b.Store(isa.OpSd, 4, 1, 0) // arr[0] = 60
+	b.Load(isa.OpLd, 5, 1, 0)  // read back
+	b.Out(5)
+	// Sub-word accesses.
+	b.Li(6, -2)
+	b.Store(isa.OpSb, 6, 1, 32) // one byte 0xFE
+	b.Load(isa.OpLb, 7, 1, 32)  // sign-extends to -2
+	b.Out(7)
+	b.Load(isa.OpLw, 8, 1, 32) // 32-bit load of 0x000000FE
+	b.Out(8)
+	b.Halt()
+	m := New(b.MustBuild())
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{60, negU64(2), 0xFE}
+	if len(m.Output) != len(want) {
+		t.Fatalf("output %v, want %v", m.Output, want)
+	}
+	for i := range want {
+		if m.Output[i] != want[i] {
+			t.Errorf("output[%d] = %#x, want %#x", i, m.Output[i], want[i])
+		}
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	b := prog.NewBuilder("fp")
+	vals := b.Float(3.0, 4.0)
+	b.Li(1, int64(vals))
+	f0, f1, f2 := uint8(isa.FPBase), uint8(isa.FPBase+1), uint8(isa.FPBase+2)
+	b.Load(isa.OpFld, f0, 1, 0)
+	b.Load(isa.OpFld, f1, 1, 8)
+	b.R(isa.OpFmul, f2, f0, f0) // 9
+	b.R(isa.OpFmul, f1, f1, f1) // 16
+	b.R(isa.OpFadd, f2, f2, f1) // 25
+	b.R(isa.OpFsqrt, f2, f2, 0) // 5
+	b.R(isa.OpCvtFI, 2, f2, 0)  // r2 = 5
+	b.Out(2)
+	b.Halt()
+	m := New(b.MustBuild())
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output[0] != 5 {
+		t.Errorf("hypot = %d, want 5", m.Output[0])
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	b := prog.NewBuilder("call")
+	b.Li(1, 5)
+	b.Jal(isa.RegLink, "double")
+	b.Out(1)
+	b.Halt()
+	b.Label("double")
+	b.R(isa.OpAdd, 1, 1, 1)
+	b.Emit(isa.Inst{Op: isa.OpJr, Rs1: isa.RegLink})
+	m := New(b.MustBuild())
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output[0] != 10 {
+		t.Errorf("double(5) = %d", m.Output[0])
+	}
+}
+
+func TestZeroRegisterHardwired(t *testing.T) {
+	b := prog.NewBuilder("zero")
+	b.Li(0, 99) // write to r0 is discarded
+	b.R(isa.OpAdd, 1, 0, 0)
+	b.Out(1)
+	b.Halt()
+	m := New(b.MustBuild())
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output[0] != 0 {
+		t.Errorf("r0 = %d after write, want 0", m.Output[0])
+	}
+}
+
+func TestEffects(t *testing.T) {
+	b := prog.NewBuilder("eff")
+	b.Li(1, 7)                      // reg write
+	b.Store(isa.OpSd, 1, 0, 0x2000) // store
+	b.Load(isa.OpLd, 2, 0, 0x2000)  // load
+	b.Halt()
+	m := New(b.MustBuild())
+
+	e, err := m.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.WritesReg || e.Reg != 1 || e.RegVal != 7 {
+		t.Errorf("li effect = %+v", e)
+	}
+	if e.PC != prog.TextBase || e.NextPC != prog.TextBase+8 {
+		t.Errorf("li pcs = %#x -> %#x", e.PC, e.NextPC)
+	}
+
+	e, _ = m.Step()
+	if !e.IsStore || e.MemAddr != 0x2000 || e.StoreVal != 7 || e.MemSize != 8 {
+		t.Errorf("store effect = %+v", e)
+	}
+
+	e, _ = m.Step()
+	if !e.IsLoad || e.MemAddr != 0x2000 || !e.WritesReg || e.RegVal != 7 {
+		t.Errorf("load effect = %+v", e)
+	}
+
+	e, _ = m.Step()
+	if !e.Halted {
+		t.Errorf("halt effect = %+v", e)
+	}
+	if _, err := m.Step(); err == nil {
+		t.Error("step after halt did not error")
+	}
+}
+
+func TestEffectMismatch(t *testing.T) {
+	base := Effect{PC: 0x1000, NextPC: 0x1008, WritesReg: true, Reg: 1, RegVal: 5}
+	if s := base.Mismatch(base); s != "" {
+		t.Errorf("identical effects mismatch: %s", s)
+	}
+	cases := []Effect{
+		{PC: 0x1008, NextPC: 0x1008, WritesReg: true, Reg: 1, RegVal: 5},
+		{PC: 0x1000, NextPC: 0x1010, WritesReg: true, Reg: 1, RegVal: 5},
+		{PC: 0x1000, NextPC: 0x1008, WritesReg: true, Reg: 2, RegVal: 5},
+		{PC: 0x1000, NextPC: 0x1008, WritesReg: true, Reg: 1, RegVal: 6},
+		{PC: 0x1000, NextPC: 0x1008},
+	}
+	for i, c := range cases {
+		if s := base.Mismatch(c); s == "" {
+			t.Errorf("case %d: differing effects compare equal", i)
+		}
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	b := prog.NewBuilder("spin")
+	b.Label("top")
+	b.Jump("top")
+	m := New(b.MustBuild())
+	if err := m.Run(100); !errors.Is(err, ErrLimit) {
+		t.Errorf("Run = %v, want ErrLimit", err)
+	}
+	if m.Insts != 100 {
+		t.Errorf("executed %d, want 100", m.Insts)
+	}
+}
+
+func TestIllegalInstruction(t *testing.T) {
+	b := prog.NewBuilder("ill")
+	b.Nop()
+	p := b.MustBuild()
+	m := New(p)
+	// Overwrite the nop with an invalid opcode.
+	m.Mem.Write(prog.TextBase, 8, uint64(255)<<56)
+	if _, err := m.Step(); err == nil {
+		t.Error("illegal instruction not reported")
+	}
+}
+
+func TestMix(t *testing.T) {
+	b := prog.NewBuilder("mix")
+	f0, f1 := uint8(isa.FPBase), uint8(isa.FPBase+1)
+	addr := b.Float(1.0)
+	b.Li(1, int64(addr))         // int
+	b.Load(isa.OpFld, f0, 1, 0)  // mem
+	b.R(isa.OpFadd, f1, f0, f0)  // fp add
+	b.R(isa.OpFmul, f1, f1, f0)  // fp mult
+	b.R(isa.OpFdiv, f1, f1, f0)  // fp div
+	b.Store(isa.OpFsd, f1, 1, 0) // mem
+	b.Halt()                     // int
+	m := New(b.MustBuild())
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	mix := m.Mix()
+	if mix.Insts != 7 {
+		t.Fatalf("mix counted %d insts", mix.Insts)
+	}
+	check := func(name string, got, want float64) {
+		if got != want {
+			t.Errorf("%s = %.2f%%, want %.2f%%", name, got, want)
+		}
+	}
+	check("mem", mix.MemPct, 200.0/7)
+	check("int", mix.IntPct, 200.0/7)
+	check("fadd", mix.FAdd, 100.0/7)
+	check("fmul", mix.FMul, 100.0/7)
+	check("fdiv", mix.FDiv, 100.0/7)
+}
+
+// negU64 returns the two's-complement representation of -v.
+func negU64(v uint64) uint64 { return ^v + 1 }

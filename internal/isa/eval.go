@@ -1,0 +1,206 @@
+package isa
+
+import "math"
+
+// Eval computes the result of a non-memory, non-control instruction given
+// its source operand values a (rs1) and b (rs2). Operand and result values
+// are raw 64-bit register contents; floating-point operations interpret
+// them as IEEE-754 float64 bit patterns.
+//
+// Division by zero does not trap: integer division by zero yields all ones
+// and remainder yields the dividend (the usual soft-ISA convention), while
+// floating-point follows IEEE-754 (Inf/NaN).
+func Eval(op Op, imm int32, a, b uint64) uint64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpAddi:
+		return a + uint64(int64(imm))
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	// Logical immediates are zero-extended (as on MIPS), which lets a
+	// lih/ori pair materialise any 64-bit constant exactly.
+	case OpAndi:
+		return a & uint64(uint32(imm))
+	case OpOri:
+		return a | uint64(uint32(imm))
+	case OpXori:
+		return a ^ uint64(uint32(imm))
+	case OpSll:
+		return a << (b & 63)
+	case OpSrl:
+		return a >> (b & 63)
+	case OpSra:
+		return uint64(int64(a) >> (b & 63))
+	case OpSlli:
+		return a << (uint32(imm) & 63)
+	case OpSrli:
+		return a >> (uint32(imm) & 63)
+	case OpSrai:
+		return uint64(int64(a) >> (uint32(imm) & 63))
+	case OpSlt:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case OpSltu:
+		if a < b {
+			return 1
+		}
+		return 0
+	case OpSlti:
+		if int64(a) < int64(imm) {
+			return 1
+		}
+		return 0
+	case OpLi:
+		return uint64(int64(imm))
+	case OpLih:
+		return uint64(uint32(imm)) << 32
+	case OpMul:
+		return uint64(int64(a) * int64(b))
+	case OpDiv:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		if int64(a) == math.MinInt64 && int64(b) == -1 {
+			return a // overflow wraps, as on real hardware
+		}
+		return uint64(int64(a) / int64(b))
+	case OpRem:
+		if b == 0 {
+			return a
+		}
+		if int64(a) == math.MinInt64 && int64(b) == -1 {
+			return 0
+		}
+		return uint64(int64(a) % int64(b))
+	case OpFadd:
+		return f2b(b2f(a) + b2f(b))
+	case OpFsub:
+		return f2b(b2f(a) - b2f(b))
+	case OpFmul:
+		return f2b(b2f(a) * b2f(b))
+	case OpFdiv:
+		return f2b(b2f(a) / b2f(b))
+	case OpFsqrt:
+		return f2b(math.Sqrt(b2f(a)))
+	case OpFeq:
+		if b2f(a) == b2f(b) {
+			return 1
+		}
+		return 0
+	case OpFlt:
+		if b2f(a) < b2f(b) {
+			return 1
+		}
+		return 0
+	case OpFle:
+		if b2f(a) <= b2f(b) {
+			return 1
+		}
+		return 0
+	case OpCvtIF:
+		return f2b(float64(int64(a)))
+	case OpCvtFI:
+		f := b2f(a)
+		switch {
+		case math.IsNaN(f):
+			return 0
+		case f >= math.MaxInt64:
+			return uint64(int64(math.MaxInt64))
+		case f <= math.MinInt64:
+			return 1 << 63 // bit pattern of math.MinInt64
+		}
+		return uint64(int64(f))
+	case OpMovIF, OpMovFI:
+		return a
+	case OpOut:
+		return a
+	case OpNop, OpHalt:
+		return 0
+	}
+	// Control-flow results are produced by EvalCtrl; memory values by the
+	// memory system. Returning 0 keeps wrong-path execution harmless.
+	return 0
+}
+
+// EvalCtrl evaluates a control-flow instruction at address pc with source
+// operand values a (rs1) and b (rs2). It returns whether the branch is
+// taken, the next PC, and the link value (pc+InstBytes, meaningful only
+// for OpJal/OpJalr).
+func EvalCtrl(op Op, pc uint64, imm int32, a, b uint64) (taken bool, next uint64, link uint64) {
+	fall := pc + InstBytes
+	target := pc + uint64(int64(imm))
+	switch op {
+	case OpBeq:
+		taken = a == b
+	case OpBne:
+		taken = a != b
+	case OpBlt:
+		taken = int64(a) < int64(b)
+	case OpBge:
+		taken = int64(a) >= int64(b)
+	case OpJ, OpJal:
+		taken = true
+	case OpJr, OpJalr:
+		taken = true
+		target = a
+	default:
+		return false, fall, fall
+	}
+	if taken {
+		next = target
+	} else {
+		next = fall
+	}
+	return taken, next, fall
+}
+
+// EffAddr computes the effective address of a load or store given the base
+// register value.
+func EffAddr(imm int32, base uint64) uint64 {
+	return base + uint64(int64(imm))
+}
+
+// LoadWidth returns the access size in bytes of a load/store opcode and
+// whether the loaded value is sign-extended.
+func LoadWidth(op Op) (size int, signExtend bool) {
+	switch op {
+	case OpLd, OpSd, OpFld, OpFsd:
+		return 8, false
+	case OpLw, OpSw:
+		return 4, true
+	case OpLb, OpSb:
+		return 1, true
+	}
+	return 0, false
+}
+
+// SignExtend sign-extends the low size bytes of v.
+func SignExtend(v uint64, size int) uint64 {
+	switch size {
+	case 1:
+		return uint64(int64(int8(v)))
+	case 2:
+		return uint64(int64(int16(v)))
+	case 4:
+		return uint64(int64(int32(v)))
+	}
+	return v
+}
+
+func b2f(b uint64) float64 { return math.Float64frombits(b) }
+func f2b(f float64) uint64 { return math.Float64bits(f) }
+
+// F2B converts a float64 to its register bit pattern.
+func F2B(f float64) uint64 { return f2b(f) }
+
+// B2F converts a register bit pattern to a float64.
+func B2F(b uint64) float64 { return b2f(b) }

@@ -1,0 +1,189 @@
+// Package mem implements the sparse physical memory used by both the
+// functional (oracle) simulator and the out-of-order performance
+// simulator.
+//
+// Memory is byte-addressable and little-endian. Storage is allocated
+// lazily in 4 KiB pages so simulated programs can use widely separated
+// text, data and stack segments without cost. Reads of untouched memory
+// return zero, which keeps wrong-path (mis-speculated) loads harmless.
+//
+// In the paper's fault model, main memory and caches are ECC-protected and
+// therefore sit outside the sphere of replication; this package models
+// that assumption by being fault-free. The fault injector only corrupts
+// speculative pipeline state.
+package mem
+
+import "fmt"
+
+// PageShift and PageSize define the lazy-allocation granularity.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	pageMask  = PageSize - 1
+)
+
+type page [PageSize]byte
+
+// Memory is a sparse, little-endian, byte-addressable memory. The zero
+// value is not ready to use; call New.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// Clone returns a deep copy of the memory. The oracle simulator clones the
+// post-load image so the two committed states the paper's Section 5.1.1
+// sanity check maintains never alias.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{pages: make(map[uint64]*page, len(m.pages))}
+	for idx, p := range m.pages {
+		cp := *p
+		c.pages[idx] = &cp
+	}
+	return c
+}
+
+// Pages returns the number of allocated pages (for tests and stats).
+func (m *Memory) Pages() int { return len(m.pages) }
+
+func (m *Memory) page(addr uint64, allocate bool) *page {
+	idx := addr >> PageShift
+	p := m.pages[idx]
+	if p == nil && allocate {
+		p = new(page)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// Byte returns the byte at addr.
+func (m *Memory) Byte(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// SetByte stores b at addr.
+func (m *Memory) SetByte(addr uint64, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// Read loads size bytes (1, 2, 4 or 8) at addr, little-endian,
+// zero-extended into a uint64. Accesses may straddle page boundaries.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	checkSize(size)
+	off := addr & pageMask
+	if off+uint64(size) <= PageSize {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		var v uint64
+		for i := size - 1; i >= 0; i-- {
+			v = v<<8 | uint64(p[off+uint64(i)])
+		}
+		return v
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(m.Byte(addr+uint64(i)))
+	}
+	return v
+}
+
+// Write stores the low size bytes (1, 2, 4 or 8) of val at addr,
+// little-endian. Accesses may straddle page boundaries.
+func (m *Memory) Write(addr uint64, size int, val uint64) {
+	checkSize(size)
+	off := addr & pageMask
+	if off+uint64(size) <= PageSize {
+		p := m.page(addr, true)
+		for i := 0; i < size; i++ {
+			p[off+uint64(i)] = byte(val)
+			val >>= 8
+		}
+		return
+	}
+	for i := 0; i < size; i++ {
+		m.SetByte(addr+uint64(i), byte(val))
+		val >>= 8
+	}
+}
+
+// Bytes copies len(dst) bytes starting at addr into dst.
+func (m *Memory) Bytes(addr uint64, dst []byte) {
+	for i := range dst {
+		dst[i] = m.Byte(addr + uint64(i))
+	}
+}
+
+// SetBytes copies src into memory starting at addr.
+func (m *Memory) SetBytes(addr uint64, src []byte) {
+	for i, b := range src {
+		m.SetByte(addr+uint64(i), b)
+	}
+}
+
+// Equal reports whether the two memories have identical contents. Pages
+// absent from one side compare equal to all-zero pages on the other.
+func Equal(a, b *Memory) bool {
+	return contains(a, b) && contains(b, a)
+}
+
+func contains(a, b *Memory) bool {
+	var zero page
+	for idx, pa := range a.pages {
+		pb := b.pages[idx]
+		if pb == nil {
+			pb = &zero
+		}
+		if *pa != *pb {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstDiff returns the lowest address at which the two memories differ.
+// ok is false when they are identical.
+func FirstDiff(a, b *Memory) (addr uint64, ok bool) {
+	found := false
+	var best uint64
+	seen := make(map[uint64]bool)
+	check := func(idx uint64) {
+		if seen[idx] {
+			return
+		}
+		seen[idx] = true
+		base := idx << PageShift
+		for i := uint64(0); i < PageSize; i++ {
+			if a.Byte(base+i) != b.Byte(base+i) {
+				if !found || base+i < best {
+					best, found = base+i, true
+				}
+				return
+			}
+		}
+	}
+	for idx := range a.pages {
+		check(idx)
+	}
+	for idx := range b.pages {
+		check(idx)
+	}
+	return best, found
+}
+
+func checkSize(size int) {
+	switch size {
+	case 1, 2, 4, 8:
+	default:
+		panic(fmt.Sprintf("mem: invalid access size %d", size))
+	}
+}

@@ -1,0 +1,143 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroDefault(t *testing.T) {
+	m := New()
+	if got := m.Read(0xDEAD_BEEF, 8); got != 0 {
+		t.Errorf("untouched read = %#x, want 0", got)
+	}
+	if m.Pages() != 0 {
+		t.Errorf("reads allocated %d pages", m.Pages())
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	sizes := []int{1, 2, 4, 8}
+	f := func(addr uint64, val uint64, sizeIdx uint8) bool {
+		addr %= 1 << 40 // keep the page map small
+		size := sizes[int(sizeIdx)%len(sizes)]
+		m := New()
+		m.Write(addr, size, val)
+		want := val
+		if size < 8 {
+			want &= (1 << (8 * uint(size))) - 1
+		}
+		return m.Read(addr, size) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New()
+	addr := uint64(PageSize - 3) // 8-byte access straddles the page boundary
+	m.Write(addr, 8, 0x1122_3344_5566_7788)
+	if got := m.Read(addr, 8); got != 0x1122_3344_5566_7788 {
+		t.Errorf("cross-page read = %#x", got)
+	}
+	if m.Pages() != 2 {
+		t.Errorf("cross-page write allocated %d pages, want 2", m.Pages())
+	}
+	// Byte-level view must agree (little-endian).
+	if got := m.Byte(addr); got != 0x88 {
+		t.Errorf("first byte = %#x, want 0x88", got)
+	}
+	if got := m.Byte(addr + 7); got != 0x11 {
+		t.Errorf("last byte = %#x, want 0x11", got)
+	}
+}
+
+func TestLittleEndian(t *testing.T) {
+	m := New()
+	m.Write(0x100, 4, 0xAABBCCDD)
+	want := []byte{0xDD, 0xCC, 0xBB, 0xAA}
+	for i, w := range want {
+		if got := m.Byte(0x100 + uint64(i)); got != w {
+			t.Errorf("byte %d = %#x, want %#x", i, got, w)
+		}
+	}
+	// Overlapping narrower read.
+	if got := m.Read(0x102, 2); got != 0xAABB {
+		t.Errorf("overlapping 2-byte read = %#x, want 0xaabb", got)
+	}
+}
+
+func TestBytesSetBytes(t *testing.T) {
+	m := New()
+	src := []byte{1, 2, 3, 4, 5}
+	m.SetBytes(PageSize-2, src) // straddles pages
+	dst := make([]byte, 5)
+	m.Bytes(PageSize-2, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("round trip byte %d = %d, want %d", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := New()
+	m.Write(0x1000, 8, 42)
+	c := m.Clone()
+	if got := c.Read(0x1000, 8); got != 42 {
+		t.Fatalf("clone read = %d, want 42", got)
+	}
+	m.Write(0x1000, 8, 99)
+	c.Write(0x2000, 8, 7)
+	if got := c.Read(0x1000, 8); got != 42 {
+		t.Errorf("clone saw original's write: %d", got)
+	}
+	if got := m.Read(0x2000, 8); got != 0 {
+		t.Errorf("original saw clone's write: %d", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(), New()
+	if !Equal(a, b) {
+		t.Error("two empty memories differ")
+	}
+	a.Write(0x500, 8, 1)
+	if Equal(a, b) {
+		t.Error("differing memories compare equal")
+	}
+	b.Write(0x500, 8, 1)
+	if !Equal(a, b) {
+		t.Error("identical memories differ")
+	}
+	// A page of explicit zeros equals an absent page.
+	a.Write(0x9000, 8, 0)
+	if !Equal(a, b) {
+		t.Error("explicit zero page != absent page")
+	}
+	if !Equal(b, a) {
+		t.Error("Equal is not symmetric for zero pages")
+	}
+}
+
+func TestFirstDiff(t *testing.T) {
+	a, b := New(), New()
+	if _, ok := FirstDiff(a, b); ok {
+		t.Error("FirstDiff on identical memories reported a difference")
+	}
+	a.Write(0x5008, 1, 0xFF)
+	a.Write(0x3004, 1, 0x01)
+	addr, ok := FirstDiff(a, b)
+	if !ok || addr != 0x3004 {
+		t.Errorf("FirstDiff = %#x, %v; want 0x3004, true", addr, ok)
+	}
+}
+
+func TestInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Read with size 3 did not panic")
+		}
+	}()
+	New().Read(0, 3)
+}

@@ -1,0 +1,150 @@
+// Package model implements the paper's Section 4 analytical performance
+// model for a fault-tolerant superscalar:
+//
+//   - steady-state throughput under R-way redundant instruction
+//     processing (Section 4.1), and
+//   - the additional slowdown from rewind-based error recovery as a
+//     function of the transient-fault frequency f (Section 4.2),
+//     including the majority-election variant for R >= 3.
+//
+// Definitions follow the paper: IPC1/CPI1 describe the unmodified
+// datapath, IPCr/CPIr the same datapath running R redundant threads, B is
+// the first resource bottleneck the application exercises, f is the
+// fault frequency in faults per executed instruction copy, and rw is the
+// average rewind penalty in cycles.
+package model
+
+import "math"
+
+// SteadyStateIPC returns IPC_R per Section 4.1:
+//
+//	IPC_R = IPC_1 - max(0, R*IPC_1 - B)/R
+//
+// equivalently min(IPC_1, B/R): until the replicated streams saturate the
+// bottleneck B, the extra data-independent operations consume previously
+// unused capacity and redundancy is free; past saturation the machine
+// divides B among R copies.
+func SteadyStateIPC(ipc1, b float64, r int) float64 {
+	if r < 1 || ipc1 <= 0 {
+		return 0
+	}
+	over := float64(r)*ipc1 - b
+	if over < 0 {
+		over = 0
+	}
+	return ipc1 - over/float64(r)
+}
+
+// RewindProbability returns the per-instruction probability that a
+// retiring group triggers a full rewind.
+//
+// For the base design (majority == false) any corrupted copy forces a
+// rewind: p = 1 - (1-f)^R, whose small-f linearisation is the paper's
+// R*f term.
+//
+// With majority election, corrupted copies (which almost surely disagree
+// with everything) cannot form a majority, so the group commits exactly
+// when at least threshold copies are clean: p = P[clean < threshold].
+func RewindProbability(r, threshold int, majority bool, f float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	if f >= 1 {
+		return 1
+	}
+	if !majority {
+		return 1 - math.Pow(1-f, float64(r))
+	}
+	p := 0.0
+	for clean := 0; clean < threshold; clean++ {
+		p += binom(r, clean) * math.Pow(1-f, float64(clean)) * math.Pow(f, float64(r-clean))
+	}
+	return p
+}
+
+// IPCUnderFaults applies Section 4.2: each rewind adds rw cycles, and
+// rewinds arrive at pRewind per committed instruction, so
+//
+//	CPI_R(f) = CPI_R(err-free) + rw * pRewind
+//	IPC_R(f) = IPC_eff / (1 + rw * pRewind * IPC_eff)
+//
+// The model is optimistic for very high fault frequencies (1/f
+// approaching rw), where overlapping faults share one rewind penalty —
+// the same caveat the paper notes.
+func IPCUnderFaults(ipcEff, rw, pRewind float64) float64 {
+	if ipcEff <= 0 {
+		return 0
+	}
+	return ipcEff / (1 + rw*pRewind*ipcEff)
+}
+
+// Point is one sample of an IPC-versus-fault-frequency curve.
+type Point struct {
+	FaultsPerInst float64
+	IPC           float64
+}
+
+// CurveConfig describes one curve of Figures 3/4/6.
+type CurveConfig struct {
+	// IPC1 is the baseline (non-redundant) throughput; B the bottleneck.
+	IPC1, B float64
+	// R is the redundancy degree; Majority/Threshold select the R>=3
+	// election design.
+	R         int
+	Majority  bool
+	Threshold int
+	// Rewind is the recovery penalty rw in cycles (20 in Figure 3, 2000
+	// in Figure 4).
+	Rewind float64
+}
+
+// Curve evaluates IPC_R(f) at the given fault frequencies.
+func Curve(cfg CurveConfig, freqs []float64) []Point {
+	eff := SteadyStateIPC(cfg.IPC1, cfg.B, cfg.R)
+	thr := cfg.Threshold
+	if thr == 0 {
+		thr = cfg.R/2 + 1
+	}
+	pts := make([]Point, len(freqs))
+	for i, f := range freqs {
+		p := RewindProbability(cfg.R, thr, cfg.Majority, f)
+		pts[i] = Point{FaultsPerInst: f, IPC: IPCUnderFaults(eff, cfg.Rewind, p)}
+	}
+	return pts
+}
+
+// LogSpace returns n frequencies spaced logarithmically from lo to hi
+// inclusive.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log10(lo), math.Log10(hi)
+	for i := range out {
+		out[i] = math.Pow(10, llo+(lhi-llo)*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// KneeFrequency estimates where rewind penalties stop being negligible:
+// the f at which recovery inflates CPI by the given fraction (e.g. 0.01
+// for 1%). For the base design p ~ R*f, so f_knee = frac * CPI_eff /
+// (rw * R).
+func KneeFrequency(ipcEff, rw float64, r int, frac float64) float64 {
+	if ipcEff <= 0 || rw <= 0 || r < 1 {
+		return 0
+	}
+	return frac / (rw * float64(r) * ipcEff)
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	res := 1.0
+	for i := 0; i < k; i++ {
+		res = res * float64(n-i) / float64(i+1)
+	}
+	return res
+}

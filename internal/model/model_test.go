@@ -1,0 +1,202 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSteadyStateIPC(t *testing.T) {
+	cases := []struct {
+		ipc1, b float64
+		r       int
+		want    float64
+	}{
+		// Saturated: IPC1 = B, so IPC_R = B/R (the paper's 1/R case).
+		{4, 4, 2, 2},
+		{4, 4, 3, 4.0 / 3},
+		// Unsaturated: free redundancy until R*IPC1 reaches B.
+		{1, 4, 2, 1},
+		{1, 4, 3, 1},
+		{2, 4, 2, 2},
+		// Partially saturated.
+		{3, 4, 2, 2}, // min(3, 4/2)
+		{1.5, 4, 3, 4.0 / 3},
+		// Degenerate.
+		{4, 4, 1, 4},
+		{0, 4, 2, 0},
+	}
+	for _, c := range cases {
+		if got := SteadyStateIPC(c.ipc1, c.b, c.r); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("SteadyStateIPC(%g, %g, %d) = %g, want %g", c.ipc1, c.b, c.r, got, c.want)
+		}
+	}
+}
+
+// Property: IPC_R == min(IPC_1, B/R).
+func TestSteadyStateEquivalence(t *testing.T) {
+	f := func(ipcRaw, bRaw uint16, rRaw uint8) bool {
+		ipc1 := 0.1 + float64(ipcRaw%800)/100
+		b := 0.5 + float64(bRaw%800)/100
+		r := 1 + int(rRaw%4)
+		got := SteadyStateIPC(ipc1, b, r)
+		want := math.Min(ipc1, b/float64(r))
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRewindProbability(t *testing.T) {
+	// Base design: p = 1-(1-f)^R ~ R*f for small f.
+	f := 1e-6
+	if got := RewindProbability(2, 0, false, f); math.Abs(got-2*f)/(2*f) > 1e-3 {
+		t.Errorf("base R=2 p = %g, want ~%g", got, 2*f)
+	}
+	// Majority R=3 threshold 2: p ~ 3f^2 for small f.
+	if got := RewindProbability(3, 2, true, f); math.Abs(got-3*f*f)/(3*f*f) > 1e-2 {
+		t.Errorf("majority R=3 p = %g, want ~%g", got, 3*f*f)
+	}
+	// Extremes.
+	if RewindProbability(2, 0, false, 0) != 0 {
+		t.Error("p(0) != 0")
+	}
+	if RewindProbability(2, 0, false, 1) != 1 {
+		t.Error("p(1) != 1")
+	}
+	// Monotone in f.
+	prev := -1.0
+	for _, fr := range LogSpace(1e-9, 0.5, 30) {
+		p := RewindProbability(3, 2, true, fr)
+		if p < prev {
+			t.Fatalf("p not monotone at f=%g", fr)
+		}
+		prev = p
+	}
+}
+
+func TestIPCUnderFaults(t *testing.T) {
+	// No faults: unchanged.
+	if got := IPCUnderFaults(2, 20, 0); got != 2 {
+		t.Errorf("fault-free IPC = %g", got)
+	}
+	// Sanity: the CPI increase equals rw*p exactly.
+	ipc := IPCUnderFaults(2, 20, 0.01)
+	wantCPI := 0.5 + 20*0.01
+	if math.Abs(1/ipc-wantCPI) > 1e-12 {
+		t.Errorf("CPI = %g, want %g", 1/ipc, wantCPI)
+	}
+}
+
+// TestFigure3Shape reproduces the qualitative claims the paper draws from
+// Figure 3 (normalized IPC1 = B = 1, rw = 20).
+func TestFigure3Shape(t *testing.T) {
+	freqs := LogSpace(1e-8, 1e-1, 60)
+	r2 := Curve(CurveConfig{IPC1: 1, B: 1, R: 2, Rewind: 20}, freqs)
+	r3 := Curve(CurveConfig{IPC1: 1, B: 1, R: 3, Rewind: 20}, freqs)
+	r3maj := Curve(CurveConfig{IPC1: 1, B: 1, R: 3, Majority: true, Rewind: 20}, freqs)
+
+	// Error-free plateaus: 1/2 and 1/3.
+	if math.Abs(r2[0].IPC-0.5) > 1e-6 || math.Abs(r3[0].IPC-1.0/3) > 1e-6 {
+		t.Fatalf("plateaus: R2=%g R3=%g", r2[0].IPC, r3[0].IPC)
+	}
+	// "IPC stays relatively constant until 1/f is within two orders of
+	// magnitude of rw": at f = 1e-4 (1/f = 10^4, rw*100 = 2000) R=2 has
+	// lost under 5%.
+	at := func(pts []Point, f float64) float64 {
+		best, dist := 0.0, math.Inf(1)
+		for _, p := range pts {
+			if d := math.Abs(math.Log10(p.FaultsPerInst) - math.Log10(f)); d < dist {
+				best, dist = p.IPC, d
+			}
+		}
+		return best
+	}
+	if ipc := at(r2, 1e-4); ipc < 0.5*0.95 {
+		t.Errorf("R=2 already degraded at f=1e-4: %g", ipc)
+	}
+	// At f=1e-1, R=2 has collapsed.
+	if ipc := at(r2, 1e-1); ipc > 0.2 {
+		t.Errorf("R=2 not degraded at f=1e-1: %g", ipc)
+	}
+	// Majority R=3 stays flat to much higher frequencies than R=2...
+	if at(r3maj, 1e-3) < at(r3, 0)*0.999 {
+		t.Errorf("majority curve droops too early")
+	}
+	// ...and crosses above plain R=2 only at very high f.
+	crossover := 0.0
+	for i := range freqs {
+		if r3maj[i].IPC > r2[i].IPC {
+			crossover = freqs[i]
+			break
+		}
+	}
+	if crossover == 0 {
+		t.Fatal("no R=3-majority/R=2 crossover found")
+	}
+	if crossover < 1e-4 || crossover > 1e-1 {
+		t.Errorf("crossover at f=%g, expected very high frequency", crossover)
+	}
+}
+
+// TestFigure4Shape: rw=2000 shifts the knee down by two decades but
+// leaves the plateau untouched.
+func TestFigure4Shape(t *testing.T) {
+	f20 := KneeFrequency(0.5, 20, 2, 0.01)
+	f2000 := KneeFrequency(0.5, 2000, 2, 0.01)
+	if math.Abs(f20/f2000-100) > 1e-6 {
+		t.Errorf("knee ratio = %g, want 100", f20/f2000)
+	}
+	freqs := LogSpace(1e-9, 1e-2, 40)
+	short := Curve(CurveConfig{IPC1: 1, B: 1, R: 2, Rewind: 20}, freqs)
+	long := Curve(CurveConfig{IPC1: 1, B: 1, R: 2, Rewind: 2000}, freqs)
+	if math.Abs(short[0].IPC-long[0].IPC) > 1e-4 {
+		t.Error("plateaus differ")
+	}
+	for i := range freqs {
+		if long[i].IPC > short[i].IPC+1e-12 {
+			t.Fatalf("rw=2000 outperforms rw=20 at f=%g", freqs[i])
+		}
+	}
+	// "rw has only a minimal effect on the average IPC for any reasonable
+	// f": at one fault per 10^7 instructions even rw=2000 loses <1%.
+	if long[len(freqs)-1].IPC >= short[0].IPC {
+		t.Error("no visible effect at high f")
+	}
+	idx := 0
+	for i, f := range freqs {
+		if f >= 1e-7 {
+			idx = i
+			break
+		}
+	}
+	if long[idx].IPC < 0.5*0.99 {
+		t.Errorf("rw=2000 already lost >1%% at f=1e-7: %g", long[idx].IPC)
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	fs := LogSpace(1e-6, 1e-2, 5)
+	want := []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
+	for i := range want {
+		if math.Abs(fs[i]-want[i])/want[i] > 1e-9 {
+			t.Errorf("LogSpace[%d] = %g, want %g", i, fs[i], want[i])
+		}
+	}
+	if got := LogSpace(5, 10, 1); len(got) != 1 || got[0] != 5 {
+		t.Errorf("degenerate LogSpace = %v", got)
+	}
+}
+
+func TestBinom(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{{3, 0, 1}, {3, 1, 3}, {3, 2, 3}, {3, 3, 1}, {4, 2, 6}, {3, 4, 0}, {3, -1, 0}}
+	for _, c := range cases {
+		if got := binom(c.n, c.k); got != c.want {
+			t.Errorf("binom(%d,%d) = %g, want %g", c.n, c.k, got, c.want)
+		}
+	}
+}

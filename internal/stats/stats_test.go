@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.Add("alpha", "1")
+	tb.Add("bee", "22", "extra-dropped")
+	tb.Add("c") // short row padded
+	out := tb.String()
+
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("bad header: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "alpha") || !strings.Contains(lines[3], "1") {
+		t.Errorf("bad row: %q", lines[3])
+	}
+	if strings.Contains(out, "extra-dropped") {
+		t.Error("overflow cell not dropped")
+	}
+	// All lines align to the same width per column: the separator row
+	// must be at least as wide as the longest cell.
+	if len(lines[2]) < len(lines[3]) {
+		t.Errorf("separator narrower than data: %q vs %q", lines[2], lines[3])
+	}
+	if tb.Rows() != 3 {
+		t.Errorf("Rows() = %d", tb.Rows())
+	}
+}
+
+func TestAddF(t *testing.T) {
+	tb := NewTable("", "a", "b", "c", "d")
+	tb.AddF(2, "s", 1.2345, 7, uint64(9))
+	out := tb.String()
+	for _, want := range []string{"s", "1.23", "7", "9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := []struct {
+		v    float64
+		prec int
+		want string
+	}{
+		{1.23456, 2, "1.23"},
+		{0, 3, "0.000"},
+		{1e-6, 1, "1.0e-06"},
+		{-5e-5, 1, "-5.0e-05"},
+		{100, 0, "100"},
+	}
+	for _, c := range cases {
+		if got := F(c.v, c.prec); got != c.want {
+			t.Errorf("F(%g, %d) = %q, want %q", c.v, c.prec, got, c.want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.305); got != "30.5%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

@@ -1,0 +1,175 @@
+// Package trace records per-instruction pipeline events from the
+// out-of-order simulator and renders them as textual timelines, in the
+// spirit of SimpleScalar's ptrace. It exists for debugging the datapath
+// and for teaching: the timeline makes replication, cross-checking and
+// rewind recovery visible instruction by instruction.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Stage is a pipeline milestone.
+type Stage uint8
+
+const (
+	// StageDispatch: the copy was allocated an RUU entry and renamed.
+	StageDispatch Stage = iota
+	// StageIssue: operands ready, functional unit granted.
+	StageIssue
+	// StageComplete: result written back.
+	StageComplete
+	// StageCommit: the copy's group retired (architectural effect).
+	StageCommit
+	// StageSquash: the copy was discarded by a branch rewind or a fault
+	// recovery rewind.
+	StageSquash
+	numStages
+)
+
+// String returns the single-letter timeline code for the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageDispatch:
+		return "D"
+	case StageIssue:
+		return "I"
+	case StageComplete:
+		return "C"
+	case StageCommit:
+		return "R" // retire
+	case StageSquash:
+		return "X"
+	}
+	return "?"
+}
+
+// Event is one milestone of one instruction copy.
+type Event struct {
+	Cycle uint64
+	Stage Stage
+	Seq   uint64
+	GID   uint64
+	Copy  int
+	PC    uint64
+	Inst  isa.Inst
+}
+
+// Recorder consumes pipeline events. Implementations must be cheap; the
+// simulator calls Record in its main loop.
+type Recorder interface {
+	Record(Event)
+}
+
+// Buffer is a bounded in-memory Recorder keeping the most recent events.
+type Buffer struct {
+	cap    int
+	events []Event
+	start  int // ring start when full
+	full   bool
+}
+
+// NewBuffer returns a Recorder retaining the last capacity events.
+func NewBuffer(capacity int) *Buffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Buffer{cap: capacity, events: make([]Event, 0, capacity)}
+}
+
+// Record implements Recorder.
+func (b *Buffer) Record(e Event) {
+	if len(b.events) < b.cap {
+		b.events = append(b.events, e)
+		return
+	}
+	b.full = true
+	b.events[b.start] = e
+	b.start = (b.start + 1) % b.cap
+}
+
+// Events returns the retained events in arrival order.
+func (b *Buffer) Events() []Event {
+	if !b.full {
+		return append([]Event(nil), b.events...)
+	}
+	out := make([]Event, 0, b.cap)
+	out = append(out, b.events[b.start:]...)
+	out = append(out, b.events[:b.start]...)
+	return out
+}
+
+// Len returns the number of retained events.
+func (b *Buffer) Len() int { return len(b.events) }
+
+// line is one instruction copy's row in the timeline.
+type line struct {
+	seq    uint64
+	gid    uint64
+	copyID int
+	pc     uint64
+	inst   isa.Inst
+	cycles [numStages]uint64
+	seen   [numStages]bool
+}
+
+// Timeline renders the retained events as one row per instruction copy
+// with the cycle of each milestone:
+//
+//	seq   gid  cp  pc        instruction          D      I      C      R/X
+//
+// Copies of the same instruction share a gid, making the R-way
+// replication and the per-copy completion times directly visible.
+func (b *Buffer) Timeline(w io.Writer) {
+	bynum := make(map[uint64]*line)
+	for _, e := range b.Events() {
+		l := bynum[e.Seq]
+		if l == nil {
+			l = &line{seq: e.Seq, gid: e.GID, copyID: e.Copy, pc: e.PC, inst: e.Inst}
+			bynum[e.Seq] = l
+		}
+		l.cycles[e.Stage] = e.Cycle
+		l.seen[e.Stage] = true
+	}
+	lines := make([]*line, 0, len(bynum))
+	for _, l := range bynum {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].seq < lines[j].seq })
+
+	fmt.Fprintf(w, "%6s %6s %3s %-10s %-22s %7s %7s %7s %7s\n",
+		"seq", "gid", "cp", "pc", "instruction", "D", "I", "C", "R/X")
+	cell := func(l *line, s Stage) string {
+		if !l.seen[s] {
+			return "."
+		}
+		return fmt.Sprintf("%d", l.cycles[s])
+	}
+	for _, l := range lines {
+		final := "."
+		switch {
+		case l.seen[StageSquash]:
+			final = fmt.Sprintf("X%d", l.cycles[StageSquash])
+		case l.seen[StageCommit]:
+			final = fmt.Sprintf("%d", l.cycles[StageCommit])
+		}
+		fmt.Fprintf(w, "%6d %6d %3d %#-10x %-22s %7s %7s %7s %7s\n",
+			l.seq, l.gid, l.copyID, l.pc, l.inst.String(),
+			cell(l, StageDispatch), cell(l, StageIssue), cell(l, StageComplete), final)
+	}
+}
+
+// CountStage returns how many retained events have the given stage.
+func (b *Buffer) CountStage(s Stage) int {
+	n := 0
+	for _, e := range b.Events() {
+		if e.Stage == s {
+			n++
+		}
+	}
+	return n
+}

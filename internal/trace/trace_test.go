@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func ev(cycle uint64, st Stage, seq uint64) Event {
+	return Event{Cycle: cycle, Stage: st, Seq: seq, GID: seq, PC: 0x1000 + seq*8,
+		Inst: isa.Inst{Op: isa.OpAdd, Rd: 1, Rs1: 2, Rs2: 3}}
+}
+
+func TestBufferRetention(t *testing.T) {
+	b := NewBuffer(3)
+	for i := uint64(1); i <= 5; i++ {
+		b.Record(ev(i, StageDispatch, i))
+	}
+	got := b.Events()
+	if len(got) != 3 {
+		t.Fatalf("retained %d events", len(got))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if got[i].Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, got[i].Seq, want)
+		}
+	}
+	if b.Len() != 3 {
+		t.Errorf("Len = %d", b.Len())
+	}
+}
+
+func TestBufferPartialFill(t *testing.T) {
+	b := NewBuffer(10)
+	b.Record(ev(1, StageDispatch, 1))
+	b.Record(ev(2, StageIssue, 1))
+	got := b.Events()
+	if len(got) != 2 || got[0].Stage != StageDispatch || got[1].Stage != StageIssue {
+		t.Fatalf("events = %+v", got)
+	}
+}
+
+func TestBufferMinCapacity(t *testing.T) {
+	b := NewBuffer(0) // clamps to 1
+	b.Record(ev(1, StageDispatch, 1))
+	b.Record(ev(2, StageDispatch, 2))
+	if got := b.Events(); len(got) != 1 || got[0].Seq != 2 {
+		t.Fatalf("events = %+v", got)
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	want := map[Stage]string{
+		StageDispatch: "D", StageIssue: "I", StageComplete: "C",
+		StageCommit: "R", StageSquash: "X", Stage(99): "?",
+	}
+	for st, s := range want {
+		if st.String() != s {
+			t.Errorf("Stage(%d).String() = %q, want %q", st, st.String(), s)
+		}
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	b := NewBuffer(100)
+	// Instruction 1: full life cycle.
+	b.Record(ev(10, StageDispatch, 1))
+	b.Record(ev(11, StageIssue, 1))
+	b.Record(ev(12, StageComplete, 1))
+	b.Record(ev(13, StageCommit, 1))
+	// Instruction 2: squashed after issue.
+	b.Record(ev(10, StageDispatch, 2))
+	b.Record(ev(11, StageIssue, 2))
+	b.Record(ev(12, StageSquash, 2))
+	var sb strings.Builder
+	b.Timeline(&sb)
+	out := sb.String()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 instructions
+		t.Fatalf("timeline lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "13") {
+		t.Errorf("committed instruction missing retire cycle: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "X12") {
+		t.Errorf("squashed instruction not marked: %q", lines[2])
+	}
+	if !strings.Contains(out, "add r1, r2, r3") {
+		t.Error("disassembly missing from timeline")
+	}
+}
+
+func TestCountStage(t *testing.T) {
+	b := NewBuffer(10)
+	b.Record(ev(1, StageDispatch, 1))
+	b.Record(ev(2, StageDispatch, 2))
+	b.Record(ev(3, StageCommit, 1))
+	if b.CountStage(StageDispatch) != 2 || b.CountStage(StageCommit) != 1 || b.CountStage(StageSquash) != 0 {
+		t.Error("stage counts wrong")
+	}
+}

@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/funcsim"
+	"repro/internal/isa"
+)
+
+// TestMixMatchesTable2 is the package's defining property: each
+// benchmark's measured dynamic instruction mix must match its Table 2
+// column to within a small absolute tolerance.
+func TestMixMatchesTable2(t *testing.T) {
+	const tol = 3.0 // absolute percentage points
+	for _, p := range Table2() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			m := funcsim.New(p.MustBuild(300))
+			if err := m.Run(2_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if !m.Halted {
+				t.Fatal("did not halt")
+			}
+			mix := m.Mix()
+			check := func(name string, got, want float64) {
+				if math.Abs(got-want) > tol {
+					t.Errorf("%s: measured %.2f%%, Table 2 says %.2f%%", name, got, want)
+				}
+			}
+			check("mem", mix.MemPct, p.MemPct)
+			check("int", mix.IntPct, p.IntPct)
+			check("fadd", mix.FAdd, p.FAddPct)
+			check("fmul", mix.FMul, p.FMulPct)
+			check("fdiv", mix.FDiv, p.FDivPct)
+		})
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	p, _ := ByName("gcc")
+	a := p.MustBuild(10)
+	b := p.MustBuild(10)
+	if len(a.Text) != len(b.Text) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Text), len(b.Text))
+	}
+	for i := range a.Text {
+		if a.Text[i] != b.Text[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+	// And the computation itself is deterministic.
+	m1, m2 := funcsim.New(a), funcsim.New(b)
+	if err := m1.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m1.Output[0] != m2.Output[0] {
+		t.Error("checksums differ across identical runs")
+	}
+}
+
+func TestProfilesDiffer(t *testing.T) {
+	// Different benchmarks must generate different programs (guards
+	// against seed plumbing bugs).
+	gcc, _ := ByName("gcc")
+	go_, _ := ByName("go")
+	a, b := gcc.MustBuild(5), go_.MustBuild(5)
+	if len(a.Text) == len(b.Text) {
+		same := true
+		for i := range a.Text {
+			if a.Text[i] != b.Text[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("gcc and go generated identical programs")
+		}
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	names := Names()
+	if len(names) != 11 {
+		t.Fatalf("expected 11 benchmarks, got %d", len(names))
+	}
+	want := []string{"gcc", "vortex", "go", "bzip", "ijpeg", "vpr", "equake", "ammp", "fpppp", "swim", "art"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], n)
+		}
+		if _, ok := ByName(n); !ok {
+			t.Errorf("ByName(%q) failed", n)
+		}
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("ByName accepted an unknown benchmark")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	base, _ := ByName("gcc")
+	cases := []func(*Profile){
+		func(p *Profile) { p.BodySlots = 10 },
+		func(p *Profile) { p.Chains = 0 },
+		func(p *Profile) { p.Chains = 100 },
+		func(p *Profile) { p.FootprintBytes = 1000 }, // not a power of two
+		func(p *Profile) { p.FootprintBytes = 512 },  // too small
+		func(p *Profile) { p.BranchEvery = 1 },
+		func(p *Profile) { p.IntPct = 5 }, // mix no longer sums to 100
+	}
+	for i, mutate := range cases {
+		p := base
+		mutate(&p)
+		if _, err := p.Build(1); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+}
+
+func TestAmmpEmitsSerialDivides(t *testing.T) {
+	p, _ := ByName("ammp")
+	if p.SerialDivs == 0 {
+		t.Fatal("ammp profile lost its serial divides")
+	}
+	prog := p.MustBuild(1)
+	divs := 0
+	for _, in := range prog.Text {
+		if in.Op == isa.OpDiv {
+			divs++
+		}
+	}
+	if divs < p.SerialDivs {
+		t.Errorf("found %d div instructions, want >= %d", divs, p.SerialDivs)
+	}
+}
+
+func TestFPHeavyProfilesEmitFPOps(t *testing.T) {
+	for _, name := range []string{"fpppp", "swim", "art"} {
+		p, _ := ByName(name)
+		prog := p.MustBuild(1)
+		var fadd, fmul, fdiv int
+		for _, in := range prog.Text {
+			switch in.Op {
+			case isa.OpFadd:
+				fadd++
+			case isa.OpFmul:
+				fmul++
+			case isa.OpFdiv:
+				fdiv++
+			}
+		}
+		if fadd == 0 || fmul == 0 {
+			t.Errorf("%s: fadd=%d fmul=%d", name, fadd, fmul)
+		}
+		_ = fdiv
+	}
+}
+
+func TestFootprintsRespected(t *testing.T) {
+	// Data segment must cover the footprint.
+	p, _ := ByName("swim")
+	prog := p.MustBuild(1)
+	if len(prog.Data) < p.FootprintBytes {
+		t.Errorf("data segment %d bytes < footprint %d", len(prog.Data), p.FootprintBytes)
+	}
+}
+
+func TestIterationScaling(t *testing.T) {
+	p, _ := ByName("go")
+	m10 := funcsim.New(p.MustBuild(10))
+	m20 := funcsim.New(p.MustBuild(20))
+	if err := m10.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m20.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Dynamic length should scale roughly linearly with iterations.
+	ratio := float64(m20.Insts) / float64(m10.Insts)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("iteration scaling ratio = %.2f, want ~2", ratio)
+	}
+}
