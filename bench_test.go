@@ -10,10 +10,12 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/funcsim"
 	"repro/internal/model"
@@ -198,6 +200,36 @@ func BenchmarkAblateCommitWidth(b *testing.B) {
 				ratio = ipc2 / ipc1
 			}
 			b.ReportMetric(ratio, "ss2/ss1")
+		})
+	}
+}
+
+// BenchmarkCampaign measures the evaluation-campaign engine on the
+// Figure 5 grid (11 benchmarks x 3 machine models): the same spec run
+// with one worker versus GOMAXPROCS workers. The reported
+// "gridTrials/s" metric is the campaign throughput; on a multi-core
+// host the parallel case scales with the core count while producing
+// identical rows.
+func BenchmarkCampaign(b *testing.B) {
+	cases := []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), 0},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			trials := 0
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Fig5(experiments.Options{MaxInsts: 4_000, Parallel: c.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				trials += 3 * len(rows)
+			}
+			b.ReportMetric(float64(trials)/b.Elapsed().Seconds(), "gridTrials/s")
 		})
 	}
 }

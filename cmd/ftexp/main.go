@@ -1,23 +1,55 @@
 // Command ftexp regenerates the paper's tables and figures.
+//
+// Every simulation-backed experiment is an embarrassingly parallel grid
+// of trials; ftexp runs them through the campaign engine
+// (internal/campaign), sharding trials across -parallel workers with
+// per-trial seeds derived from -seed. Output tables are byte-identical
+// for any -parallel value.
+//
+//	ftexp                       # the whole evaluation, all cores
+//	ftexp -exp fig5 -parallel 1 # one figure, serially
+//	ftexp -seed 7 -quiet        # different fault seeds, no progress
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|table2|fig3|fig4|fig5|fig6|sensitivity|ablate-cosched|ablate-commit|ablate-recovery|all")
 	insts := flag.Uint64("insts", 200_000, "committed instructions per simulation")
-	bench := flag.String("bench", "fpppp", "benchmark for fig6 / ablate-commit")
+	bench := flag.String("bench", "fpppp", "benchmark for fig6 / ablate-commit / ablate-recovery")
+	parallel := flag.Int("parallel", 0, "campaign worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+	seed := flag.Int64("seed", 1, "campaign master seed; per-trial fault seeds derive from it (0 is reserved and maps to 1)")
+	quiet := flag.Bool("quiet", false, "suppress per-trial progress on stderr")
 	flag.Parse()
 
-	opt := experiments.Options{MaxInsts: *insts}
+	// Per-trial progress reporting plus a per-experiment summary of how
+	// the campaign parallelised, both on stderr so stdout stays clean
+	// table output.
+	var lastReport *campaign.Report
+	opt := experiments.Options{
+		MaxInsts:  *insts,
+		FaultSeed: *seed,
+		Parallel:  *parallel,
+		Report:    func(rep *campaign.Report) { lastReport = rep },
+	}
+	if !*quiet {
+		opt.Progress = func(done, total int, r campaign.Result) {
+			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-32s %7.3fs\n", done, total, r.Label, r.Elapsed.Seconds())
+		}
+	}
+
 	w := os.Stdout
 	run := func(name string) error {
+		lastReport = nil
 		switch name {
 		case "table1":
 			experiments.PrintTable1(w)
@@ -70,6 +102,12 @@ func main() {
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
+		if !*quiet && lastReport != nil && lastReport.TrialSeconds.N() > 0 {
+			rep := lastReport
+			fmt.Fprintf(os.Stderr, "%s: %d trials on %d workers, wall %.2fs, work %.2fs, speedup %.2fx (trial %s)\n",
+				name, rep.TrialSeconds.N(), rep.Workers, rep.Wall.Seconds(),
+				rep.TrialSeconds.Sum(), rep.Speedup(), rep.TrialSeconds.String())
+		}
 		fmt.Fprintln(w)
 		return nil
 	}
@@ -78,10 +116,18 @@ func main() {
 	if *exp == "all" {
 		names = []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "sensitivity", "ablate-cosched", "ablate-commit", "ablate-recovery"}
 	}
+	total := time.Now()
 	for _, n := range names {
 		if err := run(n); err != nil {
 			fmt.Fprintf(os.Stderr, "ftexp: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if !*quiet && *exp == "all" {
+		workers := *parallel
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(os.Stderr, "full evaluation in %.2fs with -parallel %d\n", time.Since(total).Seconds(), workers)
 	}
 }

@@ -1,0 +1,246 @@
+// Package campaign runs experiment campaigns — grids of independent
+// simulation trials — across a pool of worker goroutines.
+//
+// The paper's evaluation is an embarrassingly parallel sweep over
+// (benchmark x machine configuration x fault rate) points: every trial
+// builds its own program, machine and fault injector and shares no
+// mutable state with any other trial. The engine exploits that by
+// dispatching trials to GOMAXPROCS workers while keeping the results
+// bit-identical to a serial run:
+//
+//   - each trial's RNG seed is derived from the campaign seed and the
+//     trial's index (TrialSeed), never from completion order or worker
+//     identity; and
+//   - results are stored by trial index, so aggregation happens in grid
+//     order no matter which worker finished first.
+//
+// A Runner therefore satisfies the invariant the determinism regression
+// tests assert: the same Spec and seed produce byte-identical tables at
+// Workers=1 and Workers=N.
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Trial is one independent simulation point of a campaign grid.
+type Trial struct {
+	// Label names the trial in progress reports, e.g. "fig5/gcc/SS-2".
+	Label string
+	// Run executes the trial. The seed argument is the trial's derived
+	// RNG seed (TrialSeed of the campaign seed and the trial index);
+	// trials that inject faults must seed their injectors from it so the
+	// campaign stays deterministic under any worker count.
+	Run func(seed int64) (any, error)
+}
+
+// Spec is a campaign: a named grid of trials and the master seed all
+// per-trial seeds derive from.
+type Spec struct {
+	Name string
+	Seed int64
+	// SeedIndex maps a trial index to the index its seed derives from;
+	// nil is the identity. Trials mapped to the same seed index receive
+	// the identical derived seed, keeping the arms of a controlled
+	// comparison (e.g. two designs at one fault rate) on one RNG stream.
+	SeedIndex func(i int) int
+	Trials    []Trial
+}
+
+// trialSeed derives trial i's seed, honouring SeedIndex grouping.
+func (s Spec) trialSeed(i int) int64 {
+	if s.SeedIndex != nil {
+		i = s.SeedIndex(i)
+	}
+	return TrialSeed(s.Seed, i)
+}
+
+// Result is the outcome of one trial.
+type Result struct {
+	Index   int
+	Label   string
+	Seed    int64
+	Value   any
+	Err     error
+	Elapsed time.Duration
+}
+
+// Progress observes trial completions as they happen. done counts
+// completed trials including this one; calls are serialised by the
+// runner but arrive in completion order, not index order.
+type Progress func(done, total int, r Result)
+
+// Report is a completed campaign: per-trial results in grid order plus
+// streaming aggregates of the trial wall times.
+type Report struct {
+	Spec    string
+	Results []Result
+	// TrialSeconds aggregates per-trial wall-clock seconds as trials
+	// complete (count, mean, min, max); its Sum is the total CPU-side
+	// work, which together with Wall gives the realised parallel speedup.
+	TrialSeconds stats.Stream
+	// Wall is the end-to-end campaign duration.
+	Wall time.Duration
+	// Workers is the worker-pool size the campaign ran with.
+	Workers int
+}
+
+// Speedup is the realised parallelism: total per-trial work divided by
+// wall-clock time (1.0 for a serial run, approaching Workers for a
+// perfectly parallel grid). When workers oversubscribe the available
+// cores, per-trial elapsed times include scheduler wait and the figure
+// overstates true parallelism.
+func (r *Report) Speedup() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return r.TrialSeconds.Sum() / r.Wall.Seconds()
+}
+
+// Err returns the error of the lowest-index failed trial, so the
+// reported failure is deterministic regardless of completion order.
+func (r *Report) Err() error {
+	for i := range r.Results {
+		if err := r.Results[i].Err; err != nil {
+			return fmt.Errorf("trial %d (%s): %w", i, r.Results[i].Label, err)
+		}
+	}
+	return nil
+}
+
+// TrialSeed derives the RNG seed for one trial from the campaign seed.
+// It is a splitmix64-style finaliser over (seed, index): cheap, stable
+// across runs, and spreading consecutive indices to uncorrelated
+// streams. The result is never zero, so downstream configs that treat a
+// zero seed as "use the default" cannot be tripped by it.
+func TrialSeed(campaignSeed int64, index int) int64 {
+	x := uint64(campaignSeed)*0x9E3779B97F4A7C15 + uint64(index) + 1
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return int64(x)
+}
+
+// Runner executes campaigns over a worker pool.
+type Runner struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, is invoked (serialised) after every trial.
+	Progress Progress
+}
+
+func (r Runner) workers(trials int) int {
+	n := r.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > trials {
+		n = trials
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Run executes every trial of the spec and returns the completed
+// report. A trial failure does not abort trials already in flight, but
+// stops new trials from being dispatched; Report.Err surfaces the
+// lowest-index failure. The context cancels dispatch between trials.
+func (r Runner) Run(ctx context.Context, spec Spec) (*Report, error) {
+	n := len(spec.Trials)
+	rep := &Report{Spec: spec.Name, Results: make([]Result, n), Workers: r.workers(n)}
+	if n == 0 {
+		return rep, nil
+	}
+	start := time.Now()
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards done, rep.TrialSeconds and Progress calls
+	done := 0
+
+	for w := 0; w < rep.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				t := spec.Trials[idx]
+				res := Result{Index: idx, Label: t.Label, Seed: spec.trialSeed(idx)}
+				t0 := time.Now()
+				res.Value, res.Err = t.Run(res.Seed)
+				res.Elapsed = time.Since(t0)
+				rep.Results[idx] = res
+				if res.Err != nil {
+					cancel()
+				}
+				mu.Lock()
+				done++
+				rep.TrialSeconds.Add(res.Elapsed.Seconds())
+				if r.Progress != nil {
+					r.Progress(done, n, res)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	dispatched := 0
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+			dispatched++
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	rep.Wall = time.Since(start)
+	if err := rep.Err(); err != nil {
+		return rep, err
+	}
+	// No trial failed but dispatch stopped early: the caller's context
+	// was cancelled. Surface it — a silently partial report would read
+	// as a completed campaign.
+	if dispatched < n {
+		return rep, fmt.Errorf("campaign %s: cancelled after %d/%d trials dispatched: %w",
+			spec.Name, dispatched, n, context.Cause(ctx))
+	}
+	return rep, nil
+}
+
+// Collect extracts the trial values as a typed slice in grid order.
+// Trials that never ran (dispatch stopped after an error) or whose
+// value is not a T yield an error naming the offending trial.
+func Collect[T any](rep *Report) ([]T, error) {
+	out := make([]T, len(rep.Results))
+	for i := range rep.Results {
+		res := &rep.Results[i]
+		if res.Err != nil {
+			return nil, fmt.Errorf("trial %d (%s): %w", i, res.Label, res.Err)
+		}
+		v, ok := res.Value.(T)
+		if !ok {
+			return nil, fmt.Errorf("trial %d (%s): value %T is not %T (trial skipped or mistyped)",
+				i, res.Label, res.Value, v)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+// simPoint is one (benchmark, machine configuration) cell of an
+// experiment grid.
+type simPoint struct {
+	label string
+	prof  workload.Profile
+	cfg   core.Config
+}
+
+// runCampaign runs a trial grid through the campaign engine with the
+// runner configured from opt (worker count, progress sink, campaign
+// seed). group is the spec's seed-index mapping (nil = identity). The
+// finished report is handed to opt.Report when set.
+func runCampaign(name string, trials []campaign.Trial, group func(int) int, opt Options) (*campaign.Report, error) {
+	runner := campaign.Runner{Workers: opt.Parallel, Progress: opt.Progress}
+	spec := campaign.Spec{Name: name, Seed: opt.FaultSeed, SeedIndex: group, Trials: trials}
+	rep, err := runner.Run(context.Background(), spec)
+	if rep != nil && opt.Report != nil {
+		opt.Report(rep)
+	}
+	return rep, err
+}
+
+// runGrid executes the points through the campaign engine and returns
+// their statistics in grid order. opt.FaultSeed acts as the campaign
+// seed: every point with fault injection enabled has its injector
+// reseeded with the engine's derived per-trial seed, so results depend
+// only on (grid, seed) — never on worker count or completion order.
+func runGrid(name string, points []simPoint, opt Options) ([]*cpu.Stats, error) {
+	return runGridGrouped(name, points, nil, opt)
+}
+
+// runGridGrouped is runGrid with seed pairing (campaign.Spec.SeedIndex):
+// points sharing a seed index see the identical fault stream, so
+// controlled comparisons (R=2 vs R=3 at one fault rate, a penalty sweep
+// at one rate) measure the design's difference, not the RNG's. nil
+// means every point is its own group.
+func runGridGrouped(name string, points []simPoint, group func(int) int, opt Options) ([]*cpu.Stats, error) {
+	trials := make([]campaign.Trial, len(points))
+	for i := range points {
+		pt := points[i]
+		trials[i] = campaign.Trial{
+			Label: pt.label,
+			Run: func(seed int64) (any, error) {
+				cfg := pt.cfg
+				if cfg.Fault.Enabled() {
+					cfg.Fault.Seed = seed
+				}
+				return runBench(pt.prof, cfg, opt)
+			},
+		}
+	}
+	rep, err := runCampaign(name, trials, group, opt)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.Collect[*cpu.Stats](rep)
+}

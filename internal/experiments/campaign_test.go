@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// TestCampaignDeterminism is the parallelism regression gate: the same
+// experiment at -parallel 1 and -parallel 8 must produce identical
+// aggregated rows (and byte-identical rendered tables) for the same
+// campaign seed. Fig6 exercises the seed-sensitive path (fault
+// injection); Fig5 covers the fault-free grids.
+func TestCampaignDeterminism(t *testing.T) {
+	serial := Options{MaxInsts: 6_000, FaultSeed: 11, Parallel: 1}
+	par := serial
+	par.Parallel = 8
+
+	r1, err := Fig6("fpppp", serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Fig6("fpppp", par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r8) {
+		t.Errorf("fig6 rows differ between -parallel 1 and -parallel 8:\n%+v\n%+v", r1, r8)
+	}
+	var t1, t8 strings.Builder
+	PrintFig6(&t1, "fpppp", r1)
+	PrintFig6(&t8, "fpppp", r8)
+	if t1.String() != t8.String() {
+		t.Error("fig6 rendered tables not byte-identical")
+	}
+
+	f1, err := Fig5(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8, err := Fig5(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f1, f8) {
+		t.Errorf("fig5 rows differ between -parallel 1 and -parallel 8")
+	}
+}
+
+// TestCampaignSeedMatters guards against the degenerate "determinism"
+// of ignoring the seed entirely: a different campaign seed must change
+// the injected-fault trajectory somewhere in the sweep.
+func TestCampaignSeedMatters(t *testing.T) {
+	a, err := Fig6("fpppp", Options{MaxInsts: 6_000, FaultSeed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig6("fpppp", Options{MaxInsts: 6_000, FaultSeed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Error("fig6 identical under different campaign seeds")
+	}
+}
+
+// TestCampaignProgress checks the per-trial progress stream the CLIs
+// attach: one callback per grid point, labels carrying the experiment
+// name.
+func TestCampaignProgress(t *testing.T) {
+	var labels []string
+	var rep *campaign.Report
+	opt := Options{MaxInsts: 2_000, Parallel: 1}
+	opt.Progress = func(done, total int, r campaign.Result) {
+		if total != 11 {
+			t.Errorf("total = %d, want 11", total)
+		}
+		labels = append(labels, r.Label)
+	}
+	opt.Report = func(r *campaign.Report) { rep = r }
+	if _, err := Table2(opt); err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.TrialSeconds.N() != 11 || rep.Workers != 1 || rep.Spec != "table2" {
+		t.Fatalf("report hook: %+v", rep)
+	}
+	if len(labels) != 11 {
+		t.Fatalf("got %d progress callbacks", len(labels))
+	}
+	for _, l := range labels {
+		if !strings.HasPrefix(l, "table2/") {
+			t.Errorf("label %q missing experiment prefix", l)
+		}
+	}
+}

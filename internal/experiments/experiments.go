@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/fault"
@@ -24,8 +25,18 @@ type Options struct {
 	// (the paper simulates 1B per benchmark; the default here keeps the
 	// full suite interactive).
 	MaxInsts uint64
-	// FaultSeed seeds fault injection where applicable.
+	// FaultSeed is the campaign master seed: each trial's fault-injection
+	// seed is derived from it and the trial's grid index, so a whole
+	// experiment is reproducible from this one number.
 	FaultSeed int64
+	// Parallel is the campaign worker-pool size: 0 uses GOMAXPROCS,
+	// 1 forces a serial run. Results are identical for any value.
+	Parallel int
+	// Progress, when non-nil, observes every campaign trial completion.
+	Progress campaign.Progress
+	// Report, when non-nil, receives each finished campaign's report
+	// (worker count, wall time, streaming trial-time aggregates).
+	Report func(*campaign.Report)
 }
 
 // Defaults fills zero fields.
@@ -87,20 +98,39 @@ type MixRow struct {
 }
 
 // Table2 measures each synthetic benchmark's dynamic mix on the
-// functional simulator.
+// functional simulator, one campaign trial per benchmark.
 func Table2(opt Options) ([]MixRow, error) {
 	opt = opt.defaults()
-	rows := make([]MixRow, 0, 11)
-	for _, p := range workload.Table2() {
-		program, err := p.Build(workloadIters)
-		if err != nil {
-			return nil, err
+	profiles := workload.Table2()
+	trials := make([]campaign.Trial, len(profiles))
+	for i := range profiles {
+		p := profiles[i]
+		trials[i] = campaign.Trial{
+			Label: "table2/" + p.Name,
+			Run: func(int64) (any, error) {
+				program, err := p.Build(workloadIters)
+				if err != nil {
+					return nil, err
+				}
+				m := funcsim.New(program)
+				if err := m.Run(opt.MaxInsts); err != nil && err != funcsim.ErrLimit {
+					return nil, fmt.Errorf("table2 %s: %w", p.Name, err)
+				}
+				return m.Mix(), nil
+			},
 		}
-		m := funcsim.New(program)
-		if err := m.Run(opt.MaxInsts); err != nil && err != funcsim.ErrLimit {
-			return nil, fmt.Errorf("table2 %s: %w", p.Name, err)
-		}
-		rows = append(rows, MixRow{Bench: p.Name, Measured: m.Mix(), Profile: p})
+	}
+	rep, err := runCampaign("table2", trials, nil, opt)
+	if err != nil {
+		return nil, err
+	}
+	mixes, err := campaign.Collect[funcsim.Mix](rep)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MixRow, len(profiles))
+	for i, p := range profiles {
+		rows[i] = MixRow{Bench: p.Name, Measured: mixes[i], Profile: p}
 	}
 	return rows, nil
 }
@@ -181,28 +211,29 @@ type Fig5Row struct {
 	Penalty float64
 }
 
-// Fig5 runs the three machine models over the 11 benchmarks.
+// Fig5 runs the three machine models over the 11 benchmarks — a 33-point
+// campaign grid.
 func Fig5(opt Options) ([]Fig5Row, error) {
 	opt = opt.defaults()
-	rows := make([]Fig5Row, 0, 11)
-	for _, p := range workload.Table2() {
-		ss1, err := runBench(p, core.SS1(), opt)
-		if err != nil {
-			return nil, fmt.Errorf("fig5 %s SS-1: %w", p.Name, err)
-		}
-		st2, err := runBench(p, core.Static2(), opt)
-		if err != nil {
-			return nil, fmt.Errorf("fig5 %s Static-2: %w", p.Name, err)
-		}
-		ss2, err := runBench(p, core.SS2(), opt)
-		if err != nil {
-			return nil, fmt.Errorf("fig5 %s SS-2: %w", p.Name, err)
-		}
-		row := Fig5Row{Bench: p.Name, SS1: ss1.IPC(), Static2: st2.IPC(), SS2: ss2.IPC()}
+	profiles := workload.Table2()
+	points := make([]simPoint, 0, 3*len(profiles))
+	for _, p := range profiles {
+		points = append(points,
+			simPoint{"fig5/" + p.Name + "/SS-1", p, core.SS1()},
+			simPoint{"fig5/" + p.Name + "/Static-2", p, core.Static2()},
+			simPoint{"fig5/" + p.Name + "/SS-2", p, core.SS2()})
+	}
+	sts, err := runGrid("fig5", points, opt)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig5Row, len(profiles))
+	for i, p := range profiles {
+		row := Fig5Row{Bench: p.Name, SS1: sts[3*i].IPC(), Static2: sts[3*i+1].IPC(), SS2: sts[3*i+2].IPC()}
 		if row.SS1 > 0 {
 			row.Penalty = 1 - row.SS2/row.SS1
 		}
-		rows = append(rows, row)
+		rows[i] = row
 	}
 	return rows, nil
 }
@@ -253,23 +284,28 @@ func Fig6(bench string, opt Options) ([]Fig6Row, error) {
 		return nil, fmt.Errorf("fig6: unknown benchmark %q", bench)
 	}
 	ratesPerM := []float64{0, 1, 10, 100, 1000, 5000, 10_000, 20_000, 50_000, 100_000}
-	rows := make([]Fig6Row, 0, len(ratesPerM))
+	points := make([]simPoint, 0, 2*len(ratesPerM))
 	for _, rm := range ratesPerM {
-		fc := fault.Config{Rate: rm / 1e6, Seed: opt.FaultSeed, Targets: fault.AllTargets}
-
+		// Seed is set per trial by the campaign grid (runGridGrouped).
+		fc := fault.Config{Rate: rm / 1e6, Targets: fault.AllTargets}
 		ss2 := core.SS2()
 		ss2.Fault = fc
-		st2, err := runBench(p, ss2, opt)
-		if err != nil {
-			return nil, fmt.Errorf("fig6 SS-2 @%g: %w", rm, err)
-		}
 		ss3 := core.SS3()
 		ss3.Fault = fc
-		st3, err := runBench(p, ss3, opt)
-		if err != nil {
-			return nil, fmt.Errorf("fig6 SS-3 @%g: %w", rm, err)
-		}
-		rows = append(rows, Fig6Row{
+		points = append(points,
+			simPoint{fmt.Sprintf("fig6/%s/R2@%g", bench, rm), p, ss2},
+			simPoint{fmt.Sprintf("fig6/%s/R3@%g", bench, rm), p, ss3})
+	}
+	// The R=2 and R=3 arms at one fault rate share a seed group, so each
+	// row compares the two designs under the identical fault stream.
+	sts, err := runGridGrouped("fig6", points, func(i int) int { return i / 2 }, opt)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig6Row, len(ratesPerM))
+	for i, rm := range ratesPerM {
+		st2, st3 := sts[2*i], sts[2*i+1]
+		rows[i] = Fig6Row{
 			FaultsPerM: rm,
 			R2IPC:      st2.IPC(),
 			R3IPC:      st3.IPC(),
@@ -277,7 +313,7 @@ func Fig6(bench string, opt Options) ([]Fig6Row, error) {
 			R3Rewinds:  st3.FaultRewinds,
 			R3Majority: st3.MajorityCommits,
 			R2Recovery: st2.AvgRecoveryPenalty(),
-		})
+		}
 	}
 	return rows, nil
 }

@@ -69,31 +69,41 @@ func scaleWindow(cfg core.Config, factor float64) core.Config {
 	return cfg
 }
 
-// Sensitivity reproduces the Section 5.2 study on the baseline machine.
+// Sensitivity reproduces the Section 5.2 study on the baseline machine:
+// an 11-benchmark x 7-configuration campaign grid.
 func Sensitivity(opt Options) ([]SensRow, error) {
 	opt = opt.defaults()
 	const gainThreshold = 0.08
-	rows := make([]SensRow, 0, 11)
-	for _, p := range workload.Table2() {
-		row := SensRow{Bench: p.Name}
-		runs := []struct {
-			dst *float64
-			cfg core.Config
-		}{
-			{&row.Base, core.SS1()},
-			{&row.FUHalf, scaleFU(core.SS1(), 0.5)},
-			{&row.FU2x, scaleFU(core.SS1(), 2)},
-			{&row.FUInf, scaleFU(core.SS1(), 16)},
-			{&row.RUUHalf, scaleWindow(core.SS1(), 0.5)},
-			{&row.RUU2x, scaleWindow(core.SS1(), 2)},
-			{&row.RUUInf, scaleWindow(core.SS1(), 16)},
+	scales := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"base", core.SS1()},
+		{"fu-0.5x", scaleFU(core.SS1(), 0.5)},
+		{"fu-2x", scaleFU(core.SS1(), 2)},
+		{"fu-16x", scaleFU(core.SS1(), 16)},
+		{"ruu-0.5x", scaleWindow(core.SS1(), 0.5)},
+		{"ruu-2x", scaleWindow(core.SS1(), 2)},
+		{"ruu-16x", scaleWindow(core.SS1(), 16)},
+	}
+	profiles := workload.Table2()
+	points := make([]simPoint, 0, len(profiles)*len(scales))
+	for _, p := range profiles {
+		for _, s := range scales {
+			points = append(points, simPoint{"sens/" + p.Name + "/" + s.name, p, s.cfg})
 		}
-		for _, r := range runs {
-			st, err := runBench(p, r.cfg, opt)
-			if err != nil {
-				return nil, fmt.Errorf("sensitivity %s: %w", p.Name, err)
-			}
-			*r.dst = st.IPC()
+	}
+	sts, err := runGrid("sensitivity", points, opt)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SensRow, len(profiles))
+	for i, p := range profiles {
+		ipc := func(j int) float64 { return sts[i*len(scales)+j].IPC() }
+		row := SensRow{
+			Bench: p.Name,
+			Base:  ipc(0), FUHalf: ipc(1), FU2x: ipc(2), FUInf: ipc(3),
+			RUUHalf: ipc(4), RUU2x: ipc(5), RUUInf: ipc(6),
 		}
 		if row.Base > 0 {
 			row.FUGain = row.FU2x/row.Base - 1
@@ -109,7 +119,7 @@ func Sensitivity(opt Options) ([]SensRow, error) {
 		default:
 			row.Limiter = LimitILP
 		}
-		rows = append(rows, row)
+		rows[i] = row
 	}
 	return rows, nil
 }
@@ -141,23 +151,25 @@ type CoSchedRow struct {
 // distinct physical units.
 func AblateCoSchedule(benches []string, opt Options) ([]CoSchedRow, error) {
 	opt = opt.defaults()
-	rows := make([]CoSchedRow, 0, len(benches))
+	points := make([]simPoint, 0, 2*len(benches))
 	for _, name := range benches {
 		p, ok := workload.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("ablate-cosched: unknown benchmark %q", name)
 		}
-		base, err := runBench(p, core.SS2(), opt)
-		if err != nil {
-			return nil, err
-		}
 		cs := core.SS2()
 		cs.CoSchedule = true
-		with, err := runBench(p, cs, opt)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, CoSchedRow{Bench: name, IPCBase: base.IPC(), IPCCoSched: with.IPC()})
+		points = append(points,
+			simPoint{"cosched/" + name + "/default", p, core.SS2()},
+			simPoint{"cosched/" + name + "/co-scheduled", p, cs})
+	}
+	sts, err := runGrid("ablate-cosched", points, opt)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]CoSchedRow, len(benches))
+	for i, name := range benches {
+		rows[i] = CoSchedRow{Bench: name, IPCBase: sts[2*i].IPC(), IPCCoSched: sts[2*i+1].IPC()}
 	}
 	return rows, nil
 }
@@ -193,21 +205,23 @@ func AblateCommitWidth(bench string, widths []int, opt Options) ([]CommitWidthRo
 	if !ok {
 		return nil, fmt.Errorf("ablate-commit: unknown benchmark %q", bench)
 	}
-	rows := make([]CommitWidthRow, 0, len(widths))
+	points := make([]simPoint, 0, 2*len(widths))
 	for _, wd := range widths {
 		c1 := core.SS1()
 		c1.CPU.CommitWidth = wd
-		st1, err := runBench(p, c1, opt)
-		if err != nil {
-			return nil, err
-		}
 		c2 := core.SS2()
 		c2.CPU.CommitWidth = wd
-		st2, err := runBench(p, c2, opt)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, CommitWidthRow{Width: wd, IPC1: st1.IPC(), IPC2: st2.IPC()})
+		points = append(points,
+			simPoint{fmt.Sprintf("commit/%s/SS-1/w%d", bench, wd), p, c1},
+			simPoint{fmt.Sprintf("commit/%s/SS-2/w%d", bench, wd), p, c2})
+	}
+	sts, err := runGrid("ablate-commit", points, opt)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]CommitWidthRow, len(widths))
+	for i, wd := range widths {
+		rows[i] = CommitWidthRow{Width: wd, IPC1: sts[2*i].IPC(), IPC2: sts[2*i+1].IPC()}
 	}
 	return rows, nil
 }
@@ -244,21 +258,28 @@ func AblateRecoveryGrain(bench string, faultsPerM float64, penalties []int, opt 
 	if !ok {
 		return nil, fmt.Errorf("ablate-recovery: unknown benchmark %q", bench)
 	}
-	rows := make([]RecoveryGrainRow, 0, len(penalties))
+	points := make([]simPoint, 0, len(penalties))
 	for _, pen := range penalties {
 		cfg := core.SS2()
-		cfg.Fault = fault.Config{Rate: faultsPerM / 1e6, Seed: opt.FaultSeed, Targets: fault.AllTargets}
+		// Seed is set per trial by the campaign grid (runGridGrouped).
+		cfg.Fault = fault.Config{Rate: faultsPerM / 1e6, Targets: fault.AllTargets}
 		cfg.RecoveryPenalty = pen
-		st, err := runBench(p, cfg, opt)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, RecoveryGrainRow{
+		points = append(points, simPoint{fmt.Sprintf("recovery/%s/pen%d", bench, pen), p, cfg})
+	}
+	// Every penalty arm shares one seed group: the sweep varies only the
+	// recovery cost, so all arms must see the identical fault stream.
+	sts, err := runGridGrouped("ablate-recovery", points, func(int) int { return 0 }, opt)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]RecoveryGrainRow, len(penalties))
+	for i, pen := range penalties {
+		rows[i] = RecoveryGrainRow{
 			Penalty:    pen,
-			IPC:        st.IPC(),
-			Rewinds:    st.FaultRewinds,
-			AvgPenalty: st.AvgRecoveryPenalty(),
-		})
+			IPC:        sts[i].IPC(),
+			Rewinds:    sts[i].FaultRewinds,
+			AvgPenalty: sts[i].AvgRecoveryPenalty(),
+		}
 	}
 	return rows, nil
 }

@@ -5,6 +5,7 @@ package stats
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -101,6 +102,96 @@ func pad(s string, w int) string {
 		return s
 	}
 	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Stream is a streaming (single-pass, O(1) memory) aggregator of float64
+// observations: count, sum, mean, min, max and variance via Welford's
+// algorithm. The zero value is ready to use. It is the aggregation sink
+// for campaign runs, where trial results arrive one at a time in
+// completion order and nothing may depend on buffering them all.
+type Stream struct {
+	n        int
+	mean, m2 float64
+	sum      float64
+	min, max float64
+}
+
+// Add folds one observation into the aggregate.
+func (s *Stream) Add(v float64) {
+	s.n++
+	s.sum += v
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+}
+
+// Merge folds another aggregate into this one (parallel-merge form of
+// Welford/Chan et al.), so shards aggregated independently combine into
+// the same moments as a single stream.
+func (s *Stream) Merge(o Stream) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += d * float64(o.n) / float64(n)
+	s.sum += o.sum
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
+// N returns the observation count.
+func (s *Stream) N() int { return s.n }
+
+// Sum returns the running total.
+func (s *Stream) Sum() float64 { return s.sum }
+
+// Mean returns the running mean (0 when empty).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Stream) Max() float64 { return s.max }
+
+// Var returns the (population) variance.
+func (s *Stream) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// String summarises the aggregate for progress reports.
+func (s *Stream) String() string {
+	if s.n == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%s min=%s max=%s", s.n, F(s.mean, 3), F(s.min, 3), F(s.max, 3))
 }
 
 // F formats a float with the given precision, using scientific notation

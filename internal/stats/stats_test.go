@@ -73,3 +73,52 @@ func TestPct(t *testing.T) {
 		t.Errorf("Pct = %q", got)
 	}
 }
+
+func TestStream(t *testing.T) {
+	var s Stream
+	if s.N() != 0 || s.Mean() != 0 || s.String() != "n=0" {
+		t.Fatalf("zero stream: %+v", s)
+	}
+	for _, v := range []float64{4, 2, 8, 2} {
+		s.Add(v)
+	}
+	if s.N() != 4 || s.Sum() != 16 || s.Mean() != 4 || s.Min() != 2 || s.Max() != 8 {
+		t.Errorf("aggregates: n=%d sum=%g mean=%g min=%g max=%g", s.N(), s.Sum(), s.Mean(), s.Min(), s.Max())
+	}
+	// Population variance of {4,2,8,2} is 6.
+	if v := s.Var(); v < 5.999 || v > 6.001 {
+		t.Errorf("Var = %g, want 6", v)
+	}
+	if !strings.Contains(s.String(), "n=4") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestStreamMerge(t *testing.T) {
+	vals := []float64{1, 5, 3, 9, 2, 2, 7, 4}
+	var whole, a, b Stream
+	for i, v := range vals {
+		whole.Add(v)
+		if i < 3 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() || a.Sum() != whole.Sum() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Errorf("merge mismatch: %+v vs %+v", a, whole)
+	}
+	if d := a.Var() - whole.Var(); d > 1e-9 || d < -1e-9 {
+		t.Errorf("merged Var %g, want %g", a.Var(), whole.Var())
+	}
+	var empty Stream
+	empty.Merge(a)
+	if empty.N() != a.N() || empty.Mean() != a.Mean() {
+		t.Error("merge into empty lost data")
+	}
+	a.Merge(Stream{})
+	if a.N() != whole.N() {
+		t.Error("merging empty changed the aggregate")
+	}
+}
