@@ -234,6 +234,51 @@ func BenchmarkCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineHot measures the scheduler's inner loop in isolation:
+// one pipeline simulated end to end, across the redundancy degrees and
+// window sizes that stress the issue/wakeup/writeback machinery. The
+// "simCycles/s" metric is the one a scheduling regression moves; it is
+// independent of campaign-engine overhead.
+func BenchmarkPipelineHot(b *testing.B) {
+	p, _ := workload.ByName("gcc")
+	program, err := p.Build(1 << 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		r    int
+		ruu  int
+	}{
+		{"R1/RUU64", 1, 64},
+		{"R1/RUU256", 1, 256},
+		{"R3/RUU64", 3, 64},
+		{"R3/RUU256", 3, 256},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cfg := core.SS1()
+				if c.r == 3 {
+					cfg = core.SS3()
+				}
+				cfg.CPU.RUUSize = c.ruu
+				cfg.CPU.LSQSize = c.ruu / 2
+				cfg.MaxInsts = benchInsts
+				cfg.MaxCycles = benchInsts * 200
+				st, err := core.Run(program, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += st.Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simCycles/s")
+		})
+	}
+}
+
 // BenchmarkSimulatorThroughput measures the simulator itself: simulated
 // instructions per second of wall time (not a paper artifact, but the
 // number that bounds experiment turnaround).

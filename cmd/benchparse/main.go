@@ -1,0 +1,144 @@
+// Command benchparse converts `go test -bench` output into a JSON
+// benchmark record so the repository can track simulator performance
+// across PRs (BENCH_PR2.json and successors).
+//
+// It reads benchmark output on stdin and writes (or merges into) a JSON
+// file mapping a label — e.g. "before" / "after" — to the parsed
+// results, so one file can carry a comparison:
+//
+//	go test -run='^$' -bench=Campaign -benchmem . | benchparse -label after -out BENCH_PR2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_op,omitempty"`
+	BytesPerOp float64            `json:"bytes_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the on-disk schema: environment header plus per-label results.
+type File struct {
+	Note   string              `json:"note,omitempty"`
+	Goos   string              `json:"goos,omitempty"`
+	Goarch string              `json:"goarch,omitempty"`
+	CPU    string              `json:"cpu,omitempty"`
+	Labels map[string][]Result `json:"labels"`
+}
+
+func main() {
+	label := flag.String("label", "after", "label for this result set (e.g. before, after)")
+	out := flag.String("out", "BENCH_PR2.json", "output JSON file (merged if it exists)")
+	note := flag.String("note", "", "optional note stored in the file header")
+	flag.Parse()
+
+	f := &File{Labels: map[string][]Result{}}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchparse: %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		if f.Labels == nil {
+			f.Labels = map[string][]Result{}
+		}
+	}
+	if *note != "" {
+		f.Note = *note
+	}
+
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			f.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			f.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			f.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if r, ok := parseLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchparse: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchparse: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	f.Labels[*label] = results
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchparse: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchparse: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchparse: wrote %d results under label %q to %s\n", len(results), *label, *out)
+}
+
+// parseLine parses one benchmark result line of the form
+//
+//	BenchmarkName-8   123   456.7 ns/op   89 B/op   1 allocs/op   2.5 widget/s
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix goified onto the name.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			r.BytesPerOp = val
+		case "allocs/op":
+			r.AllocsOp = val
+		default:
+			r.Metrics[unit] = val
+		}
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return r, true
+}

@@ -25,7 +25,7 @@ func (m *Machine) commit() error {
 		}
 		allDone := true
 		for k := 0; k < m.cfg.R; k++ {
-			e := m.ruu.at((headIdx + k) % m.ruu.size())
+			e := m.ruu.at(m.ruu.wrap(headIdx + k))
 			if !e.Valid || e.GID != c0.GID || e.Copy != k {
 				return fmt.Errorf("cpu: group %d misaligned at commit", c0.GID)
 			}
@@ -50,7 +50,7 @@ func (m *Machine) commit() error {
 			}
 		}
 
-		oi := c0.Inst.Info()
+		oi := c0.OI
 
 		if m.cfg.R > 1 {
 			// Control-flow continuity: every retiring instruction's PC is
@@ -112,7 +112,7 @@ func (m *Machine) commit() error {
 // corruptResident flips a bit in the value the commit stage will check,
 // modelling an upset of a completed result sitting in the RUU.
 func (m *Machine) corruptResident(e *Entry) {
-	oi := e.Inst.Info()
+	oi := e.OI
 	switch {
 	case oi.IsCtrl():
 		e.NextPC = m.injector.FlipLowBit(e.NextPC, 32)
@@ -148,6 +148,9 @@ func (m *Machine) retire(c0, chosen *Entry, oi *isa.OpInfo) {
 		// absorbed by the store buffer and does not stall commit).
 		m.mem.Write(chosen.EA, size, chosen.StoreVal)
 		m.caches.DAccess(chosen.EA, true)
+		// Keep the decoded-instruction cache coherent with committed
+		// memory in case the store landed on fetched code.
+		m.decInvalidate(chosen.EA, size)
 	}
 	if in.Op == isa.OpOut {
 		m.stats.Output = append(m.stats.Output, chosen.Result)

@@ -107,8 +107,11 @@ func (c *Config) Validate() error {
 	case c.R > 1 && c.Checker == nil:
 		return fmt.Errorf("cpu: R=%d requires a Checker", c.R)
 	case c.RUUSize < c.R || c.RUUSize%c.R != 0:
-		// Section 3.2: the ROB size must be a multiple of R so copy k of
-		// every instruction lands at index ≡ k (mod R).
+		// Section 3.2 provisions the ROB as a multiple of R so a group's
+		// R copies always fit together. (The implementation only relies
+		// on copies occupying consecutive ring slots — the storage ring
+		// is rounded up to a power of two independent of R — but the
+		// architectural capacity keeps the paper's constraint.)
 		return fmt.Errorf("cpu: RUU size %d is not a positive multiple of R=%d", c.RUUSize, c.R)
 	case c.LSQSize < 1:
 		return fmt.Errorf("cpu: LSQ size %d < 1", c.LSQSize)

@@ -18,6 +18,7 @@ type Entry struct {
 
 	PC       uint64
 	Inst     isa.Inst
+	OI       *isa.OpInfo      // cached isa.Info(Inst.Op), set at dispatch
 	PredNext uint64           // front-end predicted next PC
 	Pred     bpred.Prediction // predictor state (copy 0 only)
 
@@ -83,29 +84,40 @@ type mapRef struct {
 	seq   uint64
 }
 
-// ruu is the circular Register Update Unit.
+// ruu is the circular Register Update Unit. Storage is rounded up to a
+// power of two so every ring-index step is a mask instead of a divide;
+// the architectural capacity (how many entries may be live at once) stays
+// the configured size, enforced by free()/alloc().
 type ruu struct {
 	entries []Entry
+	mask    int // len(entries) - 1
+	limit   int // architectural capacity (cfg.RUUSize)
 	head    int // oldest valid entry
 	tail    int // next free slot
 	count   int
 }
 
 func newRUU(size int) *ruu {
-	return &ruu{entries: make([]Entry, size)}
+	capacity := nextPow2(size)
+	return &ruu{entries: make([]Entry, capacity), mask: capacity - 1, limit: size}
 }
 
 func (r *ruu) size() int   { return len(r.entries) }
-func (r *ruu) free() int   { return len(r.entries) - r.count }
+func (r *ruu) free() int   { return r.limit - r.count }
 func (r *ruu) empty() bool { return r.count == 0 }
+
+// wrap reduces a ring index offset into range. Because the storage size
+// is a power of two, a two's-complement AND handles negative offsets
+// (e.g. idx-copy) as well as overflowing ones (idx+k).
+func (r *ruu) wrap(i int) int { return i & r.mask }
 
 // alloc takes the next slot; the caller fills it.
 func (r *ruu) alloc() int {
-	if r.count == len(r.entries) {
+	if r.count == r.limit {
 		panic("cpu: RUU overflow")
 	}
 	idx := r.tail
-	r.tail = (r.tail + 1) % len(r.entries)
+	r.tail = (r.tail + 1) & r.mask
 	r.count++
 	return idx
 }
@@ -116,7 +128,7 @@ func (r *ruu) release() {
 		panic("cpu: RUU underflow")
 	}
 	r.entries[r.head] = Entry{}
-	r.head = (r.head + 1) % len(r.entries)
+	r.head = (r.head + 1) & r.mask
 	r.count--
 }
 
@@ -134,7 +146,7 @@ func (r *ruu) forEach(f func(idx int, e *Entry) bool) {
 		if e.Valid && !f(idx, e) {
 			return
 		}
-		idx = (idx + 1) % len(r.entries)
+		idx = (idx + 1) & r.mask
 	}
 }
 
@@ -144,7 +156,7 @@ func (r *ruu) forEach(f func(idx int, e *Entry) bool) {
 func (r *ruu) truncateAfter(seq uint64, squashAll bool) int {
 	squashed := 0
 	for r.count > 0 {
-		lastIdx := (r.tail - 1 + len(r.entries)) % len(r.entries)
+		lastIdx := (r.tail - 1) & r.mask
 		e := &r.entries[lastIdx]
 		if !squashAll && e.Seq <= seq {
 			break

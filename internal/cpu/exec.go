@@ -10,27 +10,29 @@ import (
 
 // ---------------------------------------------------------------------
 // Issue: select ready entries oldest-first, allocate functional units,
-// compute results (execute-in-pipeline) and schedule completion.
+// compute results (execute-in-pipeline) and schedule completion. The
+// selection loop lives in sched.go (issueEvent); the per-entry issue
+// attempt below is shared with the reference scan scheduler.
 
-func (m *Machine) issue() {
-	budget := m.cfg.IssueWidth
-	m.ruu.forEach(func(idx int, e *Entry) bool {
-		if budget == 0 {
-			return false
-		}
-		if e.Issued || !e.ready() {
-			return true
-		}
-		if m.tryIssueEntry(idx, e) {
-			budget--
-		}
-		return true
-	})
-}
+// issueResult classifies one issue attempt for the scheduler.
+type issueResult uint8
+
+const (
+	// issueOK: the entry started executing and consumed issue width.
+	issueOK issueResult = iota
+	// issueStall: a structural hazard (busy functional unit, blocked
+	// load) with no completion event tied to its resolution; the
+	// scheduler retries next cycle.
+	issueStall
+	// issueParked: a redundant load copy gated on its group's single
+	// memory access; copy 0's completion re-queues it, so the scheduler
+	// need not retry in between.
+	issueParked
+)
 
 // tryIssueEntry attempts to start execution of one entry this cycle.
-func (m *Machine) tryIssueEntry(idx int, e *Entry) bool {
-	oi := e.Inst.Info()
+func (m *Machine) tryIssueEntry(idx int, e *Entry) issueResult {
+	oi := e.OI
 
 	// Redundant copies of loads consume the single memory access's
 	// result; they become eligible only once the group's access is done
@@ -38,8 +40,11 @@ func (m *Machine) tryIssueEntry(idx int, e *Entry) bool {
 	// memory access is performed).
 	if oi.IsLoad && e.Copy != 0 {
 		c0 := m.groupCopy0(idx, e)
-		if c0 == nil || !c0.Done || c0.LSQ < 0 || !m.lsq.at(c0.LSQ).dataValid {
-			return false
+		if c0 == nil || !c0.Done {
+			return issueParked
+		}
+		if c0.LSQ < 0 || !m.lsq.at(c0.LSQ).dataValid {
+			return issueStall
 		}
 	}
 
@@ -54,7 +59,7 @@ func (m *Machine) tryIssueEntry(idx int, e *Entry) bool {
 		}
 		unit = pool.tryIssue(m.cycle, oi.Latency, oi.Pipelined, prefer)
 		if unit < 0 {
-			return false
+			return issueStall
 		}
 	}
 
@@ -82,7 +87,7 @@ func (m *Machine) tryIssueEntry(idx int, e *Entry) bool {
 				// reservation for this cycle is wasted, as in a real
 				// replay) and retry next cycle.
 				e.Inject = false
-				return false
+				return issueStall
 			}
 			latency += lat
 		} else {
@@ -132,9 +137,12 @@ func (m *Machine) tryIssueEntry(idx int, e *Entry) bool {
 	e.FUPool = oi.Pool
 	e.FUUnit = unit
 	e.DoneAt = m.cycle + uint64(latency)
+	if m.eventSched {
+		m.cal.insert(m.cycle, e.DoneAt, int32(idx), e.Seq)
+	}
 	m.emit(trace.StageIssue, e)
 	m.stats.Issued++
-	return true
+	return issueOK
 }
 
 // issueLoad performs disambiguation and, if clear, the single memory
@@ -197,7 +205,7 @@ func (m *Machine) evalALU(e *Entry, a, b uint64, unit int) uint64 {
 		b = bits.RotateLeft64(b, rot)
 	}
 	raw := isa.Eval(op, e.Inst.Imm, a, b)
-	if m.cfg.Persistent.Affects(op, e.Inst.Info().Pool, unit) {
+	if m.cfg.Persistent.Affects(op, e.OI.Pool, unit) {
 		raw = m.cfg.Persistent.Apply(raw)
 	}
 	if rot != 0 {
@@ -230,7 +238,7 @@ func (m *Machine) mapInjectTarget(t fault.Target, oi *isa.OpInfo) fault.Target {
 // index idx. Copies are allocated consecutively, so copy 0 sits e.Copy
 // slots earlier in the ring.
 func (m *Machine) groupCopy0(idx int, e *Entry) *Entry {
-	c0 := m.ruu.at((idx - e.Copy + m.ruu.size()) % m.ruu.size())
+	c0 := m.ruu.at(m.ruu.wrap(idx - e.Copy))
 	if !c0.Valid || c0.GID != e.GID {
 		return nil
 	}
@@ -239,56 +247,19 @@ func (m *Machine) groupCopy0(idx int, e *Entry) *Entry {
 
 // ---------------------------------------------------------------------
 // Writeback: publish completed results, wake up consumers, and resolve
-// control flow (triggering branch rewinds on mispredictions).
-
-func (m *Machine) writeback() {
-	// Completions are processed oldest-first so the eldest mispredicted
-	// branch squashes before younger completions are looked at.
-	m.ruu.forEach(func(idx int, e *Entry) bool {
-		if !e.InFlight || e.DoneAt > m.cycle {
-			return true
-		}
-		e.InFlight = false
-		e.Done = true
-		m.emit(trace.StageComplete, e)
-
-		// Wake up waiting consumers in all threads.
-		m.broadcast(idx, e)
-
-		// Branch resolution (Section 3.2, "Fault Detection"): as soon as
-		// one copy of a control instruction disagrees with the current
-		// predicted path, rewind immediately on that singular result.
-		if e.Inst.Info().IsCtrl() && e.NextPC != e.PredNext {
-			m.branchRewind(idx, e)
-			// The squash may have invalidated everything younger;
-			// continue the scan (younger entries are now invalid and
-			// skipped by forEach's Valid check).
-		}
-		return true
-	})
-}
-
-// broadcast delivers a completed result to every operand waiting on it.
-func (m *Machine) broadcast(idx int, producer *Entry) {
-	m.ruu.forEach(func(_ int, e *Entry) bool {
-		for i := range e.Ops {
-			op := &e.Ops[i]
-			if op.Used && !op.Ready && op.Producer == idx && op.ProducerSeq == producer.Seq {
-				op.Ready = true
-				op.Value = producer.Result
-			}
-		}
-		return true
-	})
-}
+// control flow (triggering branch rewinds on mispredictions). The
+// event-driven drain lives in sched.go (writebackEvent); completion of
+// one entry is handled by Machine.complete.
 
 // branchRewind squashes every entry younger than the resolving branch's
 // group and redirects fetch to the resolved target. All copies of the
 // group adopt the new expected path so identical resolutions do not
-// re-trigger.
+// re-trigger. The event structures (wait-lists, ready queue, calendar)
+// are repaired lazily: their records carry the squashed entries' seqs
+// and are dropped when they next surface (see sched.go).
 func (m *Machine) branchRewind(idx int, e *Entry) {
 	// The group occupies copies 0..R-1; the boundary is the last copy.
-	copy0Idx := (idx - e.Copy + m.ruu.size()) % m.ruu.size()
+	copy0Idx := m.ruu.wrap(idx - e.Copy)
 	lastSeq := m.ruu.at(copy0Idx).Seq + uint64(m.cfg.R-1)
 
 	m.emitSquashes(lastSeq, false)
@@ -300,7 +271,7 @@ func (m *Machine) branchRewind(idx int, e *Entry) {
 	m.stats.BranchRewinds++
 
 	for k := 0; k < m.cfg.R; k++ {
-		ce := m.ruu.at((copy0Idx + k) % m.ruu.size())
+		ce := m.ruu.at(m.ruu.wrap(copy0Idx + k))
 		if ce.Valid && ce.GID == e.GID {
 			ce.PredNext = e.NextPC
 		}
@@ -315,7 +286,7 @@ func (m *Machine) rebuildMapTable() {
 		m.mapTable[i] = mapRef{}
 	}
 	m.ruu.forEach(func(idx int, e *Entry) bool {
-		if e.Copy == 0 && e.Inst.Info().WritesRd && e.Inst.Rd != isa.RegZero {
+		if e.Copy == 0 && e.OI.WritesRd && e.Inst.Rd != isa.RegZero {
 			m.mapTable[e.Inst.Rd] = mapRef{valid: true, idx: idx, seq: e.Seq}
 		}
 		return true

@@ -21,14 +21,14 @@ func newFUPool(pool isa.Pool, n int) *fuPool {
 // prefer, when >= 0, asks for a specific instance first (co-scheduling of
 // redundant copies on distinct hardware); if that instance is busy any
 // free instance is used. It returns the instance index or -1 if the pool
-// is fully busy this cycle.
+// is fully busy this cycle. The issue stage calls this once per
+// candidate per cycle, so the scan over instances (at most a handful,
+// Table 1) is the whole cost; callers pass prefer already reduced into
+// range.
 func (p *fuPool) tryIssue(now uint64, latency int, pipelined bool, prefer int) int {
 	pick := -1
-	if prefer >= 0 {
-		prefer %= len(p.busyUntil)
-		if p.busyUntil[prefer] <= now {
-			pick = prefer
-		}
+	if prefer >= 0 && p.busyUntil[prefer] <= now {
+		pick = prefer
 	}
 	if pick < 0 {
 		for i := range p.busyUntil {

@@ -27,26 +27,32 @@ type lsqEntry struct {
 	performed bool // load access in flight or done
 }
 
-// lsq is the circular load/store queue, ordered by program order.
+// lsq is the circular load/store queue, ordered by program order. Like
+// the RUU, its storage is rounded up to a power of two so ring stepping
+// is mask arithmetic; the architectural capacity stays the configured
+// size.
 type lsq struct {
 	entries []lsqEntry
+	mask    int
+	limit   int
 	head    int
 	tail    int
 	count   int
 }
 
 func newLSQ(size int) *lsq {
-	return &lsq{entries: make([]lsqEntry, size)}
+	capacity := nextPow2(size)
+	return &lsq{entries: make([]lsqEntry, capacity), mask: capacity - 1, limit: size}
 }
 
-func (q *lsq) free() int { return len(q.entries) - q.count }
+func (q *lsq) free() int { return q.limit - q.count }
 
 func (q *lsq) alloc() int {
-	if q.count == len(q.entries) {
+	if q.count == q.limit {
 		panic("cpu: LSQ overflow")
 	}
 	idx := q.tail
-	q.tail = (q.tail + 1) % len(q.entries)
+	q.tail = (q.tail + 1) & q.mask
 	q.count++
 	return idx
 }
@@ -58,7 +64,7 @@ func (q *lsq) releaseHead(gid uint64) {
 		panic("cpu: LSQ head mismatch at commit")
 	}
 	q.entries[q.head] = lsqEntry{}
-	q.head = (q.head + 1) % len(q.entries)
+	q.head = (q.head + 1) & q.mask
 	q.count--
 }
 
@@ -68,7 +74,7 @@ func (q *lsq) at(idx int) *lsqEntry { return &q.entries[idx] }
 // all entries when squashAll is set.
 func (q *lsq) truncateAfter(seq uint64, squashAll bool) {
 	for q.count > 0 {
-		lastIdx := (q.tail - 1 + len(q.entries)) % len(q.entries)
+		lastIdx := (q.tail - 1) & q.mask
 		e := &q.entries[lastIdx]
 		if !squashAll && e.seq <= seq {
 			break
@@ -99,7 +105,7 @@ func (q *lsq) checkLoad(loadIdx int, addr uint64, size int) (loadConflict, uint6
 		if idx == q.head {
 			break
 		}
-		idx = (idx - 1 + len(q.entries)) % len(q.entries)
+		idx = (idx - 1) & q.mask
 		se := &q.entries[idx]
 		if !se.valid || se.isLoad {
 			continue

@@ -23,6 +23,7 @@ var ErrDeadlock = errors.New("cpu: no commit progress (pipeline deadlock)")
 type fetchedInst struct {
 	pc       uint64
 	inst     isa.Inst
+	oi       *isa.OpInfo // cached decode, carried into the RUU entry
 	predNext uint64
 	pred     bpred.Prediction
 }
@@ -50,9 +51,22 @@ type Machine struct {
 
 	mapTable [isa.NumRegs]mapRef
 
+	// Event-driven scheduling state (see sched.go). eventSched gates the
+	// feeding of these structures; the retained scan-based reference
+	// scheduler (test files only) clears it and installs its own stage
+	// functions via issueFn/writebackFn.
+	eventSched  bool
+	issueFn     func()
+	writebackFn func()
+	waitlists   [][]waiter // per-RUU-slot consumer lists
+	ready       readyQueue
+	retry       []readyRec // issue-stage scratch, reused across cycles
+	cal         calendar
+	dec         *decCache
+
 	// Fetch state.
 	fetchPC    uint64
-	fetchQ     []fetchedInst
+	fetchQ     *fetchRing
 	stallUntil uint64
 	fetchHalt  bool
 
@@ -91,11 +105,16 @@ func New(cfg Config, p *prog.Program) (*Machine, error) {
 		caches: cache.NewHierarchy(cfg.Hierarchy),
 	}
 	m.injector = cfg.Injector
+	m.eventSched = true
+	m.issueFn = m.issueEvent
+	m.writebackFn = m.writebackEvent
+	m.waitlists = make([][]waiter, m.ruu.size())
+	m.dec = new(decCache)
 	entry := p.LoadInto(m.mem)
 	m.regs[isa.RegSP] = prog.StackTop
 	m.nextPC.Set(entry)
 	m.fetchPC = entry
-	m.fetchQ = make([]fetchedInst, 0, cfg.FetchQueue)
+	m.fetchQ = newFetchRing(cfg.FetchQueue)
 	if cfg.Oracle {
 		m.oracle = funcsim.NewWithMemory(m.mem.Clone(), entry)
 		m.oracleLive = true
@@ -167,14 +186,14 @@ func (m *Machine) Run() (*Stats, error) {
 		if m.halted || m.stopped {
 			break
 		}
-		m.writeback()
-		m.issue()
+		m.writebackFn()
+		m.issueFn()
 		m.dispatch()
 		m.fetch()
 
 		if m.cycle-m.lastCommitCycle > deadlockWindow {
 			return &m.stats, fmt.Errorf("%w at cycle %d (pc %#x, ruu %d/%d)",
-				ErrDeadlock, m.cycle, m.fetchPC, m.ruu.count, m.ruu.size())
+				ErrDeadlock, m.cycle, m.fetchPC, m.ruu.count, m.ruu.limit)
 		}
 	}
 	m.stats.Halted = m.halted
@@ -195,7 +214,7 @@ func (m *Machine) fetch() {
 	if m.fetchHalt || m.cycle < m.stallUntil {
 		return
 	}
-	if len(m.fetchQ) >= m.cfg.FetchQueue {
+	if m.fetchQ.full() {
 		m.stats.FetchQueueFull++
 		return
 	}
@@ -211,7 +230,7 @@ func (m *Machine) fetch() {
 	firstLine := m.fetchPC & lineMask
 	secondLine := uint64(0)
 	haveSecond := false
-	for n := 0; n < m.cfg.FetchWidth && len(m.fetchQ) < m.cfg.FetchQueue; n++ {
+	for n := 0; n < m.cfg.FetchWidth && !m.fetchQ.full(); n++ {
 		pc := m.fetchPC
 		if pc&lineMask != firstLine {
 			// Fetch may straddle one line boundary per cycle; the second
@@ -229,19 +248,19 @@ func (m *Machine) fetch() {
 				break
 			}
 		}
-		in := isa.Decode(m.mem.Read(pc, isa.InstBytes))
-		fi := fetchedInst{pc: pc, inst: in}
-		if in.Info().IsCtrl() {
+		in, oi := m.decode(pc)
+		fi := fetchedInst{pc: pc, inst: in, oi: oi}
+		if oi.IsCtrl() {
 			fi.pred = m.bp.Predict(pc, in)
 			fi.predNext = fi.pred.NextPC
-			m.fetchQ = append(m.fetchQ, fi)
+			m.fetchQ.push(fi)
 			m.stats.Fetched++
 			m.fetchPC = fi.predNext
 			// Table 1: one branch prediction per cycle ends the group.
 			return
 		}
 		fi.predNext = pc + isa.InstBytes
-		m.fetchQ = append(m.fetchQ, fi)
+		m.fetchQ.push(fi)
 		m.stats.Fetched++
 		m.fetchPC = pc + isa.InstBytes
 		if in.Op == isa.OpHalt {
@@ -255,7 +274,7 @@ func (m *Machine) fetch() {
 
 // redirect clears the front end and restarts fetch at pc.
 func (m *Machine) redirect(pc uint64) {
-	m.fetchQ = m.fetchQ[:0]
+	m.fetchQ.reset()
 	m.fetchPC = pc
 	m.fetchHalt = false
 	m.stallUntil = m.cycle + uint64(m.cfg.RedirectPenalty)
@@ -268,9 +287,9 @@ func (m *Machine) redirect(pc uint64) {
 
 func (m *Machine) dispatch() {
 	budget := m.cfg.DispatchWidth
-	for budget >= m.cfg.R && len(m.fetchQ) > 0 {
-		fi := m.fetchQ[0]
-		oi := fi.inst.Info()
+	for budget >= m.cfg.R && !m.fetchQ.empty() {
+		fi := *m.fetchQ.front()
+		oi := fi.oi
 		if m.ruu.free() < m.cfg.R {
 			m.stats.DispatchRUUFull++
 			return
@@ -279,7 +298,7 @@ func (m *Machine) dispatch() {
 			m.stats.DispatchLSQFull++
 			return
 		}
-		m.fetchQ = m.fetchQ[1:]
+		m.fetchQ.pop()
 		m.gid++
 
 		var lsqIdx = -1
@@ -289,6 +308,11 @@ func (m *Machine) dispatch() {
 		var copy0 *Entry
 		for k := 0; k < m.cfg.R; k++ {
 			idx := m.ruu.alloc()
+			// The slot's previous occupant is gone (committed or
+			// squashed); any wait-list it accumulated is dead.
+			if wl := m.waitlists[idx]; len(wl) > 0 {
+				m.waitlists[idx] = wl[:0]
+			}
 			e := m.ruu.at(idx)
 			m.seq++
 			*e = Entry{
@@ -298,6 +322,7 @@ func (m *Machine) dispatch() {
 				Copy:     k,
 				PC:       fi.pc,
 				Inst:     fi.inst,
+				OI:       oi,
 				PredNext: fi.predNext,
 				LSQ:      -1,
 				FUUnit:   -1,
@@ -306,7 +331,7 @@ func (m *Machine) dispatch() {
 				e.Pred = fi.pred
 				e.LSQ = lsqIdx
 				copy0 = e
-				m.renameCopy0(e)
+				m.renameCopy0(idx, e)
 				if lsqIdx >= 0 {
 					*m.lsq.at(lsqIdx) = lsqEntry{
 						valid:  true,
@@ -320,7 +345,10 @@ func (m *Machine) dispatch() {
 					m.mapTable[fi.inst.Rd] = mapRef{valid: true, idx: idx, seq: e.Seq}
 				}
 			} else {
-				m.renameCopyK(e, copy0, k)
+				m.renameCopyK(idx, e, copy0, k)
+			}
+			if m.eventSched && e.ready() {
+				m.ready.push(readyRec{idx: int32(idx), seq: e.Seq})
 			}
 			m.emit(trace.StageDispatch, e)
 			m.stats.Dispatched++
@@ -329,9 +357,10 @@ func (m *Machine) dispatch() {
 	}
 }
 
-// renameCopy0 resolves copy 0's operands through the map table.
-func (m *Machine) renameCopy0(e *Entry) {
-	oi := e.Inst.Info()
+// renameCopy0 resolves copy 0's operands through the map table. idx is
+// the entry's own ring index, used to register on producers' wait-lists.
+func (m *Machine) renameCopy0(idx int, e *Entry) {
+	oi := e.OI
 	srcs := [2]struct {
 		used bool
 		reg  uint8
@@ -371,6 +400,9 @@ func (m *Machine) renameCopy0(e *Entry) {
 			continue
 		}
 		op.Ready = false
+		if m.eventSched {
+			m.watch(ref.idx, idx, e.Seq, i)
+		}
 	}
 }
 
@@ -379,7 +411,7 @@ func (m *Machine) renameCopy0(e *Entry) {
 // k-th redundant thread's dataflow inside itself. Operands that copy 0
 // read from committed state are read from the same ECC-protected source,
 // which is how protected values enter all R threads identically.
-func (m *Machine) renameCopyK(e *Entry, copy0 *Entry, k int) {
+func (m *Machine) renameCopyK(idx int, e *Entry, copy0 *Entry, k int) {
 	for i := range e.Ops {
 		src := &copy0.Ops[i]
 		op := &e.Ops[i]
@@ -395,7 +427,7 @@ func (m *Machine) renameCopyK(e *Entry, copy0 *Entry, k int) {
 		}
 		// This thread's producer copy completes on its own schedule,
 		// independent of copy 0's.
-		prodIdx := (src.Producer + k) % m.ruu.size()
+		prodIdx := m.ruu.wrap(src.Producer + k)
 		producer := m.ruu.at(prodIdx)
 		op.FromRUU = true
 		op.Producer = prodIdx
@@ -405,5 +437,8 @@ func (m *Machine) renameCopyK(e *Entry, copy0 *Entry, k int) {
 			continue
 		}
 		op.Ready = false
+		if m.eventSched {
+			m.watch(prodIdx, idx, e.Seq, i)
+		}
 	}
 }

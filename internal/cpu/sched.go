@@ -1,0 +1,444 @@
+package cpu
+
+import (
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// nextPow2 returns the smallest power of two >= n (n >= 1); the ring
+// buffers round their storage up with it so index stepping is mask
+// arithmetic.
+func nextPow2(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// This file holds the event-driven scheduling kernel. The original
+// implementation rescanned the whole RUU once per stage per cycle, which
+// made every simulated cycle O(RUUSize) regardless of how many entries
+// actually did anything. The structures below make each stage touch only
+// the entries with an event this cycle:
+//
+//   - waitlists: per-producer consumer lists built at rename time, so a
+//     completing entry wakes exactly its consumers (replaces the
+//     broadcast scan);
+//   - calendar: a completion time-wheel keyed on DoneAt (with a min-heap
+//     fallback for latencies beyond the wheel), so writeback visits only
+//     the entries finishing this cycle (replaces the writeback scan);
+//   - readyQueue: a seq-ordered min-heap of issuable entries fed by
+//     dispatch and wakeup, so issue considers only ready entries
+//     (replaces the issue scan).
+//
+// Squash repair is lazy: every record carries the (ring index, seq) pair
+// of the entry it refers to, and a record whose seq no longer matches the
+// entry at its index is dropped when it surfaces. This is sound because
+// seqs are never reused: a squashed entry's slot is either empty (Valid
+// false) or re-allocated under a strictly larger seq, so stale records
+// can never act on the wrong instruction. Producer wait-lists are
+// additionally cleared when their slot is re-allocated, which bounds
+// them without a scan. Determinism is preserved because every queue is
+// drained in seq order — exactly the oldest-first order the scans
+// enforced — so the sequence of functional-unit reservations, fault-
+// injector rolls and branch rewinds is bit-identical to the scan-based
+// kernel (TestScanVsEventEquivalence is the referee).
+
+// readyRec identifies one entry awaiting issue.
+type readyRec struct {
+	idx int32
+	seq uint64
+}
+
+// readyQueue holds the issuable entries in age order. `list` is the
+// seq-sorted pending set carried across cycles; `in` collects the
+// cycle's arrivals (dispatch and wakeup push here) and is merged into
+// the pending set by the issue pass. A sorted list beats a heap here
+// because every pending entry is reconsidered each cycle anyway — the
+// merge walk is sequential memory traffic instead of O(log n) sift
+// churn per record.
+type readyQueue struct {
+	list []readyRec // seq-sorted, carried across cycles
+	in   []readyRec // unsorted arrivals since the last issue pass
+}
+
+func (q *readyQueue) push(r readyRec) { q.in = append(q.in, r) }
+
+func (q *readyQueue) empty() bool { return len(q.list) == 0 && len(q.in) == 0 }
+
+// sortIn orders the cycle's arrivals by seq. Arrivals are pushed in
+// almost-increasing order (dispatch allocates seqs monotonically and
+// wakeups fire oldest-producer-first), so insertion sort is exact and
+// effectively linear.
+func (q *readyQueue) sortIn() {
+	for i := 1; i < len(q.in); i++ {
+		r := q.in[i]
+		j := i - 1
+		for j >= 0 && q.in[j].seq > r.seq {
+			q.in[j+1] = q.in[j]
+			j--
+		}
+		q.in[j+1] = r
+	}
+}
+
+func (q *readyQueue) reset() { q.list, q.in = q.list[:0], q.in[:0] }
+
+// waiter records one operand of one consumer waiting on a producer.
+type waiter struct {
+	idx int32  // consumer ring index
+	seq uint64 // consumer seq (slot-reuse guard)
+	op  uint8  // which of the consumer's operands
+}
+
+// calendar schedules completions. Entries issued with DoneAt within
+// wheelSize cycles go into the time-wheel bucket for that cycle; longer
+// latencies (deep cache misses) fall back to a small min-heap. Both are
+// drained together and sorted by seq so the writeback order — and with
+// it the oldest-mispredicted-branch-squashes-first invariant — matches
+// the age-ordered scan exactly.
+const (
+	wheelBits = 8
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+)
+
+type calRec struct {
+	idx int32
+	seq uint64
+}
+
+type farRec struct {
+	doneAt uint64
+	idx    int32
+	seq    uint64
+}
+
+type calendar struct {
+	wheel [wheelSize][]calRec
+	far   []farRec // min-heap on doneAt
+	due   []calRec // drain scratch, reused across cycles
+}
+
+// insert schedules (idx, seq) to surface at cycle doneAt. now is the
+// current cycle; doneAt is always strictly in the future, so a bucket
+// can never hold records for two different cycles at once.
+func (c *calendar) insert(now, doneAt uint64, idx int32, seq uint64) {
+	if doneAt-now < wheelSize {
+		b := int(doneAt & wheelMask)
+		c.wheel[b] = append(c.wheel[b], calRec{idx: idx, seq: seq})
+		return
+	}
+	c.far = append(c.far, farRec{doneAt: doneAt, idx: idx, seq: seq})
+	i := len(c.far) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if c.far[parent].doneAt <= c.far[i].doneAt {
+			break
+		}
+		c.far[parent], c.far[i] = c.far[i], c.far[parent]
+		i = parent
+	}
+}
+
+// drain returns every record due at cycle now, sorted by seq (oldest
+// first). The returned slice is valid until the next drain call.
+func (c *calendar) drain(now uint64) []calRec {
+	c.due = c.due[:0]
+	b := int(now & wheelMask)
+	c.due = append(c.due, c.wheel[b]...)
+	c.wheel[b] = c.wheel[b][:0]
+	for len(c.far) > 0 && c.far[0].doneAt <= now {
+		top := c.far[0]
+		last := len(c.far) - 1
+		c.far[0] = c.far[last]
+		c.far = c.far[:last]
+		c.farSiftDown(0)
+		c.due = append(c.due, calRec{idx: top.idx, seq: top.seq})
+	}
+	// Records arrive in issue order, not age order (a long-latency old
+	// entry and a short-latency young one can share a cycle), so sort.
+	// The lists are tiny and nearly sorted; insertion sort is exact and
+	// allocation-free.
+	for i := 1; i < len(c.due); i++ {
+		r := c.due[i]
+		j := i - 1
+		for j >= 0 && c.due[j].seq > r.seq {
+			c.due[j+1] = c.due[j]
+			j--
+		}
+		c.due[j+1] = r
+	}
+	return c.due
+}
+
+func (c *calendar) farSiftDown(i int) {
+	n := len(c.far)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && c.far[l].doneAt < c.far[small].doneAt {
+			small = l
+		}
+		if r < n && c.far[r].doneAt < c.far[small].doneAt {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		c.far[i], c.far[small] = c.far[small], c.far[i]
+		i = small
+	}
+}
+
+func (c *calendar) reset() {
+	for i := range c.wheel {
+		c.wheel[i] = c.wheel[i][:0]
+	}
+	c.far = c.far[:0]
+}
+
+// ---------------------------------------------------------------------
+// Decoded-instruction cache: fetch used to re-read and re-decode the
+// instruction word from memory for every fetched slot; a direct-mapped
+// cache keyed on the (8-byte aligned) PC makes that work happen once per
+// static instruction. Committed stores invalidate any overlapped slots,
+// so self-modifying programs still see their writes.
+
+const (
+	decBits = 12
+	decSize = 1 << decBits
+	decMask = decSize - 1
+)
+
+type decCache struct {
+	// tags holds pc+1 so the zero value means "empty" (PCs are 8-byte
+	// aligned and can never equal ^uint64(0), so pc+1 never collides
+	// with 0).
+	tags [decSize]uint64
+	inst [decSize]isa.Inst
+	oi   [decSize]*isa.OpInfo
+}
+
+func (d *decCache) slot(pc uint64) int { return int((pc >> 3) & decMask) }
+
+// drop invalidates the slot covering the aligned address a, if cached.
+func (d *decCache) drop(a uint64) {
+	s := d.slot(a)
+	if d.tags[s] == a+1 {
+		d.tags[s] = 0
+	}
+}
+
+// decode returns the instruction at pc, from cache when possible.
+// Unaligned PCs — reachable only on wrong paths (a mis-speculated jr on
+// a garbage register value, a fault-flipped branch target) — bypass the
+// cache: they are rare, and store invalidation only tracks the aligned
+// instruction words, so caching them could serve a stale decode.
+func (m *Machine) decode(pc uint64) (isa.Inst, *isa.OpInfo) {
+	if pc&(isa.InstBytes-1) != 0 {
+		in := isa.Decode(m.mem.Read(pc, isa.InstBytes))
+		return in, in.Info()
+	}
+	s := m.dec.slot(pc)
+	if m.dec.tags[s] == pc+1 {
+		return m.dec.inst[s], m.dec.oi[s]
+	}
+	in := isa.Decode(m.mem.Read(pc, isa.InstBytes))
+	oi := in.Info()
+	m.dec.tags[s] = pc + 1
+	m.dec.inst[s] = in
+	m.dec.oi[s] = oi
+	return in, oi
+}
+
+// decInvalidate drops decode-cache slots overlapped by a committed store
+// to [addr, addr+size). A store can overlap at most two aligned
+// instruction words.
+func (m *Machine) decInvalidate(addr uint64, size int) {
+	a0 := addr &^ uint64(isa.InstBytes-1)
+	a1 := (addr + uint64(size) - 1) &^ uint64(isa.InstBytes-1)
+	m.dec.drop(a0)
+	if a1 != a0 {
+		m.dec.drop(a1)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fetch queue ring: the fetch queue used to be a slice trimmed with
+// fetchQ = fetchQ[1:] per dispatched instruction, which marched the
+// backing array forward and forced append to reallocate. A fixed ring
+// keeps it allocation-free after New.
+
+type fetchRing struct {
+	buf   []fetchedInst
+	mask  int
+	limit int // architectural depth (cfg.FetchQueue)
+	head  int
+	count int
+}
+
+func newFetchRing(depth int) *fetchRing {
+	capacity := nextPow2(depth)
+	return &fetchRing{buf: make([]fetchedInst, capacity), mask: capacity - 1, limit: depth}
+}
+
+func (f *fetchRing) len() int    { return f.count }
+func (f *fetchRing) full() bool  { return f.count >= f.limit }
+func (f *fetchRing) empty() bool { return f.count == 0 }
+
+func (f *fetchRing) push(fi fetchedInst) {
+	if f.full() {
+		panic("cpu: fetch queue overflow")
+	}
+	f.buf[(f.head+f.count)&f.mask] = fi
+	f.count++
+}
+
+// front returns the oldest queued slot; it must not be empty.
+func (f *fetchRing) front() *fetchedInst { return &f.buf[f.head] }
+
+func (f *fetchRing) pop() {
+	if f.count == 0 {
+		panic("cpu: fetch queue underflow")
+	}
+	f.buf[f.head] = fetchedInst{}
+	f.head = (f.head + 1) & f.mask
+	f.count--
+}
+
+func (f *fetchRing) reset() {
+	for f.count > 0 {
+		f.pop()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Event-driven stage implementations. New installs these as the
+// machine's issue/writeback stages; the retained scan-based reference
+// scheduler (test files only) swaps itself in for equivalence testing.
+
+// wakeup delivers a completed result to exactly the consumers registered
+// on the producer's wait-list, and feeds newly ready consumers to the
+// ready queue. It replaces the full-RUU broadcast scan.
+func (m *Machine) wakeup(idx int, producer *Entry) {
+	wl := m.waitlists[idx]
+	for i := range wl {
+		w := wl[i]
+		c := m.ruu.at(int(w.idx))
+		if !c.Valid || c.Seq != w.seq {
+			continue // consumer squashed; slot empty or re-used
+		}
+		op := &c.Ops[w.op]
+		if !op.Used || op.Ready || op.Producer != idx || op.ProducerSeq != producer.Seq {
+			continue
+		}
+		op.Ready = true
+		op.Value = producer.Result
+		if !c.Issued && c.ready() {
+			m.ready.push(readyRec{idx: w.idx, seq: c.Seq})
+		}
+	}
+	// Every live waiter has been served (completion is broadcast once),
+	// so the list empties; stale waiters died with their entries.
+	m.waitlists[idx] = wl[:0]
+}
+
+// watch registers consumer (cidx, cseq)'s operand op on the producer at
+// ring index pidx. Called at rename time when an operand is not ready.
+func (m *Machine) watch(pidx int, cidx int, cseq uint64, op int) {
+	m.waitlists[pidx] = append(m.waitlists[pidx], waiter{idx: int32(cidx), seq: cseq, op: uint8(op)})
+}
+
+// complete finishes one entry on the event path: publish the result,
+// wake consumers, un-park gated redundant load copies, and resolve
+// control flow.
+func (m *Machine) complete(idx int, e *Entry) {
+	e.InFlight = false
+	e.Done = true
+	m.emit(trace.StageComplete, e)
+	m.wakeup(idx, e)
+
+	// A load group's redundant copies are gated on copy 0's single
+	// memory access (Section 5.1.2); they were parked by the issue stage
+	// and become eligible exactly now. Duplicate records are harmless:
+	// the issue pass drops any record whose entry has already issued.
+	if e.Copy == 0 && e.OI.IsLoad {
+		for k := 1; k < m.cfg.R; k++ {
+			sidx := m.ruu.wrap(idx + k)
+			s := m.ruu.at(sidx)
+			if s.Valid && s.GID == e.GID && !s.Issued && s.ready() {
+				m.ready.push(readyRec{idx: int32(sidx), seq: s.Seq})
+			}
+		}
+	}
+
+	// Branch resolution (Section 3.2, "Fault Detection"): as soon as one
+	// copy of a control instruction disagrees with the current predicted
+	// path, rewind immediately on that singular result.
+	if e.OI.IsCtrl() && e.NextPC != e.PredNext {
+		m.branchRewind(idx, e)
+	}
+}
+
+// writebackEvent drains the completion calendar for this cycle in seq
+// order: only entries finishing now are visited, oldest first, so the
+// eldest mispredicted branch squashes before younger completions are
+// looked at (squashed younger records fail their seq guard and drop).
+func (m *Machine) writebackEvent() {
+	due := m.cal.drain(m.cycle)
+	for i := range due {
+		rec := due[i]
+		e := m.ruu.at(int(rec.idx))
+		if !e.Valid || e.Seq != rec.seq || !e.InFlight {
+			continue // squashed after issue; record is stale
+		}
+		m.complete(int(rec.idx), e)
+	}
+}
+
+// issueEvent selects ready entries oldest-first, up to IssueWidth
+// successful issues: the cycle's arrivals are merged (in seq order) with
+// the pending set carried from previous cycles, which reproduces the
+// age-ordered scan exactly. Structural stalls (busy functional unit,
+// blocked load) stay pending and retry next cycle; gated redundant load
+// copies are parked and re-queued by their copy 0's completion; stale
+// records (squashes, slot reuse) drop on the floor.
+func (m *Machine) issueEvent() {
+	q := &m.ready
+	q.sortIn()
+	budget := m.cfg.IssueWidth
+	out := m.retry[:0] // next cycle's pending set, built in merge order
+	i, j := 0, 0
+	for i < len(q.list) || j < len(q.in) {
+		var rec readyRec
+		if j >= len(q.in) || (i < len(q.list) && q.list[i].seq <= q.in[j].seq) {
+			rec = q.list[i]
+			i++
+		} else {
+			rec = q.in[j]
+			j++
+		}
+		if budget == 0 {
+			// Width exhausted: keep the rest pending, order intact.
+			out = append(out, rec)
+			continue
+		}
+		e := m.ruu.at(int(rec.idx))
+		if !e.Valid || e.Seq != rec.seq || e.Issued || !e.ready() {
+			continue // stale record (squash or slot reuse)
+		}
+		switch m.tryIssueEntry(int(rec.idx), e) {
+		case issueOK:
+			budget--
+		case issueStall:
+			out = append(out, rec)
+		case issueParked:
+			// Dropped; the gating completion re-queues it.
+		}
+	}
+	q.in = q.in[:0]
+	m.retry = q.list[:0] // old pending array becomes next cycle's scratch
+	q.list = out
+}

@@ -1,0 +1,224 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// ---------------------------------------------------------------------
+// Completion calendar.
+
+func TestCalendarWheelAndFar(t *testing.T) {
+	var c calendar
+	// Near events go to the wheel, far ones to the heap; both surface at
+	// the right cycle, sorted by seq.
+	c.insert(100, 102, 7, 50)
+	c.insert(100, 102, 3, 10)
+	c.insert(100, 100+wheelSize+5, 1, 30) // far
+	c.insert(100, 100+wheelSize+5, 2, 20) // far
+
+	if got := c.drain(101); len(got) != 0 {
+		t.Fatalf("cycle 101: drained %v, want none", got)
+	}
+	got := c.drain(102)
+	if len(got) != 2 || got[0].seq != 10 || got[1].seq != 50 {
+		t.Fatalf("cycle 102: drained %v, want seqs [10 50]", got)
+	}
+	far := c.drain(100 + wheelSize + 5)
+	if len(far) != 2 || far[0].seq != 20 || far[1].seq != 30 {
+		t.Fatalf("far cycle: drained %v, want seqs [20 30]", far)
+	}
+	if len(c.far) != 0 {
+		t.Fatalf("far heap not drained: %v", c.far)
+	}
+}
+
+func TestCalendarSeqSortMixedLatency(t *testing.T) {
+	var c calendar
+	// A long-latency old entry and short-latency young entries land on
+	// the same cycle out of insertion order; drain must return seq order.
+	c.insert(10, 30, 1, 100) // issued early, 20-cycle op
+	c.insert(29, 30, 2, 900) // issued late, 1-cycle op
+	c.insert(29, 30, 3, 500)
+	got := c.drain(30)
+	if len(got) != 3 || got[0].seq != 100 || got[1].seq != 500 || got[2].seq != 900 {
+		t.Fatalf("drained %v, want seqs [100 500 900]", got)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ready queue.
+
+func TestReadyQueueMergeOrder(t *testing.T) {
+	var q readyQueue
+	q.list = append(q.list, readyRec{seq: 2}, readyRec{seq: 9})
+	q.push(readyRec{seq: 7})
+	q.push(readyRec{seq: 4}) // out of order arrival
+	q.sortIn()
+	if q.in[0].seq != 4 || q.in[1].seq != 7 {
+		t.Fatalf("sortIn gave %v", q.in)
+	}
+	// Merge as issueEvent does.
+	var merged []uint64
+	i, j := 0, 0
+	for i < len(q.list) || j < len(q.in) {
+		if j >= len(q.in) || (i < len(q.list) && q.list[i].seq <= q.in[j].seq) {
+			merged = append(merged, q.list[i].seq)
+			i++
+		} else {
+			merged = append(merged, q.in[j].seq)
+			j++
+		}
+	}
+	want := []uint64{2, 4, 7, 9}
+	for k := range want {
+		if merged[k] != want[k] {
+			t.Fatalf("merge order %v, want %v", merged, want)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fetch ring.
+
+func TestFetchRingWrapAndReset(t *testing.T) {
+	f := newFetchRing(3) // storage rounds to 4, depth stays 3
+	if f.limit != 3 || len(f.buf) != 4 {
+		t.Fatalf("depth=%d storage=%d", f.limit, len(f.buf))
+	}
+	for i := 0; i < 3; i++ {
+		f.push(fetchedInst{pc: uint64(i)})
+	}
+	if !f.full() || f.len() != 3 {
+		t.Fatal("ring should be full at its architectural depth")
+	}
+	if f.front().pc != 0 {
+		t.Fatalf("front pc = %d", f.front().pc)
+	}
+	f.pop()
+	f.push(fetchedInst{pc: 3}) // wraps storage
+	var pcs []uint64
+	for !f.empty() {
+		pcs = append(pcs, f.front().pc)
+		f.pop()
+	}
+	want := []uint64{1, 2, 3}
+	for i := range want {
+		if pcs[i] != want[i] {
+			t.Fatalf("drained %v, want %v", pcs, want)
+		}
+	}
+	f.push(fetchedInst{pc: 9})
+	f.reset()
+	if !f.empty() {
+		t.Fatal("reset left entries")
+	}
+}
+
+func TestFetchRingOverflowPanics(t *testing.T) {
+	f := newFetchRing(2)
+	f.push(fetchedInst{})
+	f.push(fetchedInst{})
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	f.push(fetchedInst{})
+}
+
+// ---------------------------------------------------------------------
+// Decoded-instruction cache.
+
+func testMachine(t *testing.T) *Machine {
+	t.Helper()
+	b := prog.NewBuilder("dec")
+	b.Halt()
+	m, err := New(Baseline(), b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDecodeCacheHitAndInvalidate(t *testing.T) {
+	m := testMachine(t)
+	pc := uint64(0x10000)
+	w1 := isa.Encode(isa.Inst{Op: isa.OpAddi, Rd: 2, Rs1: 2, Imm: 1})
+	w2 := isa.Encode(isa.Inst{Op: isa.OpXor, Rd: 3, Rs1: 3, Rs2: 3})
+	m.mem.Write(pc, 8, w1)
+
+	in, oi := m.decode(pc)
+	if in.Op != isa.OpAddi || oi != isa.Info(isa.OpAddi) {
+		t.Fatalf("decoded %v", in)
+	}
+	// Behind the cache's back the word changes; the cache must keep
+	// serving the old decode until an invalidation lands.
+	m.mem.Write(pc, 8, w2)
+	if in, _ := m.decode(pc); in.Op != isa.OpAddi {
+		t.Fatalf("expected cached decode, got %v", in)
+	}
+	// A committed store overlapping the word invalidates the slot.
+	m.decInvalidate(pc+4, 4)
+	if in, _ := m.decode(pc); in.Op != isa.OpXor {
+		t.Fatalf("stale decode after invalidation: %v", in)
+	}
+}
+
+func TestDecodeCacheStraddlingInvalidate(t *testing.T) {
+	m := testMachine(t)
+	a, b := uint64(0x20000), uint64(0x20008)
+	m.mem.Write(a, 8, isa.Encode(isa.Inst{Op: isa.OpAddi, Rd: 2, Rs1: 2, Imm: 5}))
+	m.mem.Write(b, 8, isa.Encode(isa.Inst{Op: isa.OpAddi, Rd: 3, Rs1: 3, Imm: 6}))
+	m.decode(a)
+	m.decode(b)
+	// An 8-byte store at a+4 overlaps both instruction words: it zeroes
+	// the first word's opcode bytes and the second word's immediate.
+	m.mem.Write(a+4, 8, 0)
+	m.decInvalidate(a+4, 8)
+	for _, pc := range []uint64{a, b} {
+		want := isa.Decode(m.mem.Read(pc, isa.InstBytes))
+		if in, _ := m.decode(pc); in != want {
+			t.Fatalf("stale decode at %#x: got %v, want %v", pc, in, want)
+		}
+	}
+	if in, _ := m.decode(a); in.Op != isa.OpNop {
+		t.Fatalf("first word's zeroed opcode should decode to nop, got %v", in)
+	}
+}
+
+// TestCommitStoreInvalidatesDecode runs a real program whose store
+// lands on one of its own (already fetched and decode-cached)
+// instructions, and checks the commit path's invalidation hook keeps
+// the decode cache coherent with committed memory afterwards.
+func TestCommitStoreInvalidatesDecode(t *testing.T) {
+	patch := isa.Inst{Op: isa.OpAddi, Rd: 5, Rs1: 0, Imm: 77}
+	b := prog.NewBuilder("smc")
+	b.La(7, "victim")                 // 1 instruction
+	b.Li(6, int64(isa.Encode(patch))) // 2 instructions (lih+ori)
+	b.Label("victim")
+	b.Li(5, 11) // executes unpatched this run
+	b.Out(5)
+	b.Store(isa.OpSd, 6, 7, 0) // overwrite the victim in memory
+	b.Halt()
+	victimPC := uint64(prog.TextBase) + 3*isa.InstBytes
+
+	m, err := New(Baseline(), b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Halted || len(st.Output) != 1 || st.Output[0] != 11 {
+		t.Fatalf("run: halted=%v output=%v", st.Halted, st.Output)
+	}
+	// The victim was fetched (so cached) before the store committed; a
+	// fresh decode must now see the patched word, not the cached one.
+	if in, _ := m.decode(victimPC); in != patch {
+		t.Fatalf("decode after store = %v, want %v", in, patch)
+	}
+}

@@ -13,7 +13,10 @@
 // speculative pipeline state.
 package mem
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // PageShift and PageSize define the lazy-allocation granularity.
 const (
@@ -76,20 +79,30 @@ func (m *Memory) SetByte(addr uint64, b byte) {
 
 // Read loads size bytes (1, 2, 4 or 8) at addr, little-endian,
 // zero-extended into a uint64. Accesses may straddle page boundaries.
+// The non-straddling path (the overwhelmingly common case: every
+// instruction fetch and every aligned data access) is a single
+// little-endian load instead of a byte loop.
 func (m *Memory) Read(addr uint64, size int) uint64 {
-	checkSize(size)
 	off := addr & pageMask
 	if off+uint64(size) <= PageSize {
 		p := m.page(addr, false)
 		if p == nil {
+			checkSize(size)
 			return 0
 		}
-		var v uint64
-		for i := size - 1; i >= 0; i-- {
-			v = v<<8 | uint64(p[off+uint64(i)])
+		switch size {
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 1:
+			return uint64(p[off])
 		}
-		return v
+		checkSize(size)
 	}
+	checkSize(size)
 	var v uint64
 	for i := size - 1; i >= 0; i-- {
 		v = v<<8 | uint64(m.Byte(addr+uint64(i)))
@@ -98,35 +111,69 @@ func (m *Memory) Read(addr uint64, size int) uint64 {
 }
 
 // Write stores the low size bytes (1, 2, 4 or 8) of val at addr,
-// little-endian. Accesses may straddle page boundaries.
+// little-endian. Accesses may straddle page boundaries. Like Read, the
+// non-straddling path is a single little-endian store.
 func (m *Memory) Write(addr uint64, size int, val uint64) {
-	checkSize(size)
 	off := addr & pageMask
 	if off+uint64(size) <= PageSize {
 		p := m.page(addr, true)
-		for i := 0; i < size; i++ {
-			p[off+uint64(i)] = byte(val)
-			val >>= 8
+		switch size {
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], val)
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(val))
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(val))
+			return
+		case 1:
+			p[off] = byte(val)
+			return
 		}
-		return
+		checkSize(size)
 	}
+	checkSize(size)
 	for i := 0; i < size; i++ {
 		m.SetByte(addr+uint64(i), byte(val))
 		val >>= 8
 	}
 }
 
-// Bytes copies len(dst) bytes starting at addr into dst.
+// Bytes copies len(dst) bytes starting at addr into dst, one page-sized
+// chunk at a time (the page table is consulted once per page, not once
+// per byte).
 func (m *Memory) Bytes(addr uint64, dst []byte) {
-	for i := range dst {
-		dst[i] = m.Byte(addr + uint64(i))
+	for len(dst) > 0 {
+		off := addr & pageMask
+		n := PageSize - int(off)
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if p := m.page(addr, false); p != nil {
+			copy(dst[:n], p[off:])
+		} else {
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		addr += uint64(n)
 	}
 }
 
-// SetBytes copies src into memory starting at addr.
+// SetBytes copies src into memory starting at addr, page chunk by page
+// chunk.
 func (m *Memory) SetBytes(addr uint64, src []byte) {
-	for i, b := range src {
-		m.SetByte(addr+uint64(i), b)
+	for len(src) > 0 {
+		off := addr & pageMask
+		n := PageSize - int(off)
+		if n > len(src) {
+			n = len(src)
+		}
+		copy(m.page(addr, true)[off:], src[:n])
+		src = src[n:]
+		addr += uint64(n)
 	}
 }
 
@@ -151,31 +198,41 @@ func contains(a, b *Memory) bool {
 }
 
 // FirstDiff returns the lowest address at which the two memories differ.
-// ok is false when they are identical.
+// ok is false when they are identical. Each candidate page is compared
+// once with its pointers resolved up front (a whole-array equality check
+// skips identical pages, and the byte walk runs on the arrays directly),
+// instead of the old per-byte page-table lookups that rescanned both
+// maps for every address.
 func FirstDiff(a, b *Memory) (addr uint64, ok bool) {
 	found := false
 	var best uint64
-	seen := make(map[uint64]bool)
-	check := func(idx uint64) {
-		if seen[idx] {
+	var zero page
+	check := func(idx uint64, pa, pb *page) {
+		if *pa == *pb {
 			return
 		}
-		seen[idx] = true
 		base := idx << PageShift
-		for i := uint64(0); i < PageSize; i++ {
-			if a.Byte(base+i) != b.Byte(base+i) {
-				if !found || base+i < best {
-					best, found = base+i, true
+		for i := 0; i < PageSize; i++ {
+			if pa[i] != pb[i] {
+				if d := base + uint64(i); !found || d < best {
+					best, found = d, true
 				}
 				return
 			}
 		}
 	}
-	for idx := range a.pages {
-		check(idx)
+	for idx, pa := range a.pages {
+		pb := b.pages[idx]
+		if pb == nil {
+			pb = &zero
+		}
+		check(idx, pa, pb)
 	}
-	for idx := range b.pages {
-		check(idx)
+	for idx, pb := range b.pages {
+		if _, dup := a.pages[idx]; dup {
+			continue // already compared above
+		}
+		check(idx, &zero, pb)
 	}
 	return best, found
 }

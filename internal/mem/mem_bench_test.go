@@ -1,0 +1,108 @@
+package mem
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFastPathMatchesByteLoop cross-checks the binary.LittleEndian fast
+// path against byte-at-a-time access for every size, at aligned,
+// unaligned and page-straddling addresses.
+func TestFastPathMatchesByteLoop(t *testing.T) {
+	m := New()
+	for i := uint64(0); i < 2*PageSize; i++ {
+		m.SetByte(i, byte(i*131+7))
+	}
+	addrs := []uint64{0, 1, 7, 8, 1000, PageSize - 9, PageSize - 7, PageSize - 1, PageSize}
+	for _, addr := range addrs {
+		for _, size := range []int{1, 2, 4, 8} {
+			var want uint64
+			for i := size - 1; i >= 0; i-- {
+				want = want<<8 | uint64(m.Byte(addr+uint64(i)))
+			}
+			if got := m.Read(addr, size); got != want {
+				t.Errorf("Read(%#x, %d) = %#x, want %#x", addr, size, got, want)
+			}
+		}
+	}
+	// Writes: every size at a straddling and a non-straddling address.
+	for _, addr := range []uint64{16, PageSize - 3} {
+		for _, size := range []int{1, 2, 4, 8} {
+			w := New()
+			val := uint64(0x1122334455667788)
+			w.Write(addr, size, val)
+			for i := 0; i < size; i++ {
+				if got, want := w.Byte(addr+uint64(i)), byte(val>>(8*i)); got != want {
+					t.Errorf("Write(%#x, %d): byte %d = %#x, want %#x", addr, size, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFirstDiffPageOnlyInB(t *testing.T) {
+	a, b := New(), New()
+	b.SetByte(5*PageSize+3, 9)
+	if addr, ok := FirstDiff(a, b); !ok || addr != 5*PageSize+3 {
+		t.Fatalf("FirstDiff = %#x, %v", addr, ok)
+	}
+	// A written-then-zeroed page is allocated but identical to absent.
+	a.SetByte(7*PageSize, 1)
+	a.SetByte(7*PageSize, 0)
+	if addr, ok := FirstDiff(a, b); !ok || addr != 5*PageSize+3 {
+		t.Fatalf("FirstDiff with zeroed page = %#x, %v", addr, ok)
+	}
+}
+
+// BenchmarkReadWrite measures the hot simulator path: aligned loads and
+// stores that never straddle a page.
+func BenchmarkReadWrite(b *testing.B) {
+	for _, size := range []int{1, 2, 4, 8} {
+		size := size
+		b.Run(fmt.Sprintf("size%d", size), func(b *testing.B) {
+			m := New()
+			m.Write(0, 8, 0xdeadbeefcafef00d)
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				addr := uint64(i%512) * 8
+				m.Write(addr, size, uint64(i))
+				sink += m.Read(addr, size)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkInstFetch models the front end's pattern: 8-byte reads
+// marching through a small text segment.
+func BenchmarkInstFetch(b *testing.B) {
+	m := New()
+	for i := uint64(0); i < 4096; i += 8 {
+		m.Write(i, 8, i)
+	}
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += m.Read(uint64(i%512)*8, 8)
+	}
+	_ = sink
+}
+
+// BenchmarkFirstDiff measures the divergence search over a pair of
+// images that differ only in their last page.
+func BenchmarkFirstDiff(b *testing.B) {
+	a, c := New(), New()
+	for p := uint64(0); p < 64; p++ {
+		for i := uint64(0); i < PageSize; i += 8 {
+			a.Write(p<<PageShift|i, 8, p*i)
+			c.Write(p<<PageShift|i, 8, p*i)
+		}
+	}
+	c.SetByte(63<<PageShift|4095, 0xFF)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := FirstDiff(a, c); !ok {
+			b.Fatal("no diff found")
+		}
+	}
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Run the simulator's tracking benchmarks and record them in
+# BENCH_PR2.json under a label (default "after"), so the performance
+# trajectory is visible from PR 2 onward.
+#
+# Usage:
+#   scripts/bench.sh [label] [out.json]
+#
+# Environment:
+#   BENCH_TIME      go test -benchtime value (default 2s; CI uses 1x)
+#   BENCH_PATTERN   benchmark regexp (default Campaign|PipelineHot|SimulatorThroughput)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-after}"
+out="${2:-BENCH_PR2.json}"
+benchtime="${BENCH_TIME:-2s}"
+pattern="${BENCH_PATTERN:-Campaign|PipelineHot|SimulatorThroughput}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run='^$' -bench="$pattern" -benchmem -benchtime="$benchtime" . | tee "$tmp"
+go run ./cmd/benchparse -label "$label" -out "$out" < "$tmp"
