@@ -17,6 +17,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/buildinfo"
 )
 
 // Result is one parsed benchmark line.
@@ -42,7 +44,12 @@ func main() {
 	label := flag.String("label", "after", "label for this result set (e.g. before, after)")
 	out := flag.String("out", "BENCH_PR2.json", "output JSON file (merged if it exists)")
 	note := flag.String("note", "", "optional note stored in the file header")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "benchparse")
+		return
+	}
 
 	f := &File{Labels: map[string][]Result{}}
 	if data, err := os.ReadFile(*out); err == nil {

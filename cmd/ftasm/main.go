@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"repro/internal/asm"
+	"repro/internal/buildinfo"
 	"repro/internal/funcsim"
 	"repro/internal/isa"
 )
@@ -25,7 +26,12 @@ func main() {
 func run() error {
 	execute := flag.Bool("run", false, "execute on the functional simulator")
 	limit := flag.Uint64("limit", 100_000_000, "instruction budget when running")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "ftasm")
+		return nil
+	}
 	if flag.NArg() != 1 {
 		return fmt.Errorf("usage: ftasm [-run] file.s")
 	}

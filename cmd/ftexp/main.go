@@ -9,15 +9,21 @@
 //	ftexp                       # the whole evaluation, all cores
 //	ftexp -exp fig5 -parallel 1 # one figure, serially
 //	ftexp -seed 7 -quiet        # different fault seeds, no progress
+//
+// Interrupting a run (Ctrl-C) cancels the campaign: dispatch stops and
+// in-flight simulations abort mid-pipeline-loop.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/campaign"
 	"repro/internal/experiments"
 )
@@ -29,7 +35,16 @@ func main() {
 	parallel := flag.Int("parallel", 0, "campaign worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	seed := flag.Int64("seed", 1, "campaign master seed; per-trial fault seeds derive from it (0 is reserved and maps to 1)")
 	quiet := flag.Bool("quiet", false, "suppress per-trial progress on stderr")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		buildinfo.Print(os.Stdout, "ftexp")
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	// Per-trial progress reporting plus a per-experiment summary of how
 	// the campaign parallelised, both on stderr so stdout stays clean
@@ -39,6 +54,7 @@ func main() {
 		MaxInsts:  *insts,
 		FaultSeed: *seed,
 		Parallel:  *parallel,
+		Context:   ctx,
 		Report:    func(rep *campaign.Report) { lastReport = rep },
 	}
 	if !*quiet {

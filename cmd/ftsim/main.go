@@ -1,115 +1,183 @@
 // Command ftsim runs one program on a simulated fault-tolerant
-// superscalar machine and prints its statistics.
+// superscalar machine and prints its statistics. It is a thin shell
+// over the public repro/ftsim API.
 //
 // The program is either a built-in synthetic benchmark (-bench, see the
-// paper's Table 2) or an SRISC assembly file (-asm). The machine model
-// (-model) is one of the paper's four designs; fault injection is
-// controlled by -fault-rate (faults per executed instruction copy).
+// paper's Table 2) or an SRISC assembly file (-asm). The machine is one
+// of the paper's designs (-model) or a serialized machine description
+// (-config); -dump-config prints the exact JSON the run would use, so a
+// tweaked command line can be persisted and replayed. Fault injection
+// is controlled by -fault-rate (faults per executed instruction copy).
+// Interrupting a run (Ctrl-C) cancels the simulation cleanly.
 //
 // Examples:
 //
 //	ftsim -bench fpppp -model ss2 -insts 200000
 //	ftsim -bench gcc -model ss3 -fault-rate 1e-4 -oracle
 //	ftsim -asm prog.s -model ss1
+//	ftsim -bench swim -model ss2 -dump-config > ss2.json
+//	ftsim -bench swim -config ss2.json -progress 100000
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
-	"repro/internal/asm"
-	"repro/internal/core"
-	"repro/internal/fault"
-	"repro/internal/prog"
-	"repro/internal/trace"
-	"repro/internal/workload"
+	"repro/ftsim"
+	"repro/internal/buildinfo"
 )
 
 func main() {
 	if err := run(); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ftsim: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "ftsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run() error {
-	bench := flag.String("bench", "", "built-in benchmark name ("+strings.Join(workload.Names(), ", ")+")")
+	bench := flag.String("bench", "", "built-in benchmark name ("+strings.Join(ftsim.Benchmarks(), ", ")+")")
 	asmFile := flag.String("asm", "", "SRISC assembly file to run instead of a benchmark")
 	modelName := flag.String("model", "ss1", "machine model: ss1|ss2|ss3|ss3rewind|static2")
+	configFile := flag.String("config", "", "JSON machine description to run (overrides -model)")
+	dumpConfig := flag.Bool("dump-config", false, "print the machine description as JSON and exit")
 	insts := flag.Uint64("insts", 200_000, "maximum committed instructions (0 = run to halt)")
 	cycles := flag.Uint64("cycles", 50_000_000, "maximum cycles")
 	faultRate := flag.Float64("fault-rate", 0, "faults per executed instruction copy")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injection seed")
 	oracle := flag.Bool("oracle", false, "co-simulate an in-order oracle and compare committed state")
+	strict := flag.Bool("strict", false, "abort on the first oracle divergence instead of counting it (implies -oracle)")
 	cosched := flag.Bool("cosched", false, "co-schedule redundant copies on distinct functional units")
 	showOutput := flag.Bool("output", false, "print values written by the out instruction")
 	traceN := flag.Int("trace", 0, "print a pipeline timeline of the last N instruction copies")
+	progressEvery := flag.Uint64("progress", 0, "stream IPC/fault progress to stderr every N cycles")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
-	var program *prog.Program
+	if *version {
+		buildinfo.Print(os.Stdout, "ftsim")
+		return nil
+	}
+
+	var program *ftsim.Program
+	var err error
 	switch {
 	case *bench != "" && *asmFile != "":
 		return fmt.Errorf("-bench and -asm are mutually exclusive")
 	case *bench != "":
-		p, ok := workload.ByName(*bench)
-		if !ok {
-			return fmt.Errorf("unknown benchmark %q", *bench)
-		}
-		var err error
-		program, err = p.Build(1 << 32)
-		if err != nil {
-			return err
-		}
+		program, err = ftsim.Benchmark(*bench)
 	case *asmFile != "":
-		src, err := os.ReadFile(*asmFile)
-		if err != nil {
-			return err
-		}
-		program, err = asm.Assemble(*asmFile, string(src))
-		if err != nil {
-			return err
-		}
+		program, err = ftsim.AssembleFile(*asmFile)
 	default:
 		return fmt.Errorf("one of -bench or -asm is required")
 	}
-
-	var cfg core.Config
-	switch *modelName {
-	case "ss1":
-		cfg = core.SS1()
-	case "ss2":
-		cfg = core.SS2()
-	case "ss3":
-		cfg = core.SS3()
-	case "ss3rewind":
-		cfg = core.SS3Rewind()
-	case "static2":
-		cfg = core.Static2()
-	default:
-		return fmt.Errorf("unknown model %q", *modelName)
-	}
-	cfg.Fault = fault.Config{Rate: *faultRate, Seed: *faultSeed, Targets: fault.AllTargets}
-	cfg.Oracle = *oracle
-	cfg.CoSchedule = *cosched
-	cfg.MaxInsts = *insts
-	cfg.MaxCycles = *cycles
-
-	var buf *trace.Buffer
-	if *traceN > 0 {
-		// Each instruction copy generates up to four events.
-		buf = trace.NewBuffer(*traceN * 4)
-		cfg.CPU.Tracer = buf
-	}
-
-	st, err := core.Run(program, cfg)
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("model        %s (R=%d)\n", cfg.CPU.Name, cfg.R)
-	fmt.Printf("program      %s\n", program.Name)
+	// With -config, a flag's default must not silently override the
+	// persisted machine description: only explicitly set flags win
+	// (including explicit -oracle=false style disables).
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	overrides := *configFile == ""
+	set := func(name string) bool { return overrides || explicit[name] }
+
+	cfg := ftsim.Model(*modelName).Config()
+	if *configFile != "" {
+		if explicit["model"] {
+			return fmt.Errorf("-config and -model are mutually exclusive")
+		}
+		data, err := os.ReadFile(*configFile)
+		if err != nil {
+			return err
+		}
+		cfg, err = ftsim.ParseConfig(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *configFile, err)
+		}
+	}
+	if set("fault-seed") {
+		cfg.Fault.Seed = *faultSeed
+	}
+	if set("insts") {
+		cfg.MaxInsts = *insts
+	}
+	if set("cycles") {
+		cfg.MaxCycles = *cycles
+	}
+	if set("fault-rate") {
+		cfg.Fault.Rate = *faultRate
+		// All injection points by default, matching the -model path; a
+		// config file's persisted target list is preserved.
+		if *faultRate > 0 && len(cfg.Fault.Targets) == 0 {
+			cfg.Fault.Targets = ftsim.AllFaultTargets()
+		}
+	}
+	if set("oracle") {
+		cfg.Oracle = *oracle
+	}
+	if set("cosched") {
+		cfg.CoSchedule = *cosched
+	}
+
+	var opts []ftsim.Option
+	if *strict {
+		opts = append(opts, ftsim.WithStrictOracle())
+	}
+	if *traceN > 0 {
+		// Each instruction copy generates up to four events.
+		opts = append(opts, ftsim.WithTraceBuffer(*traceN*4))
+	}
+	if *progressEvery > 0 {
+		opts = append(opts,
+			ftsim.WithObserveEvery(*progressEvery),
+			ftsim.WithObserver(ftsim.ObserverFunc(func(iv ftsim.Interval) {
+				if iv.Final {
+					return
+				}
+				fmt.Fprintf(os.Stderr, "  cycle %-10d insts %-10d IPC %6.3f (interval %6.3f)  detected %d  rewinds %d\n",
+					iv.Cycles, iv.Committed, iv.IPC, iv.IntervalIPC, iv.FaultsDetected, iv.FaultRewinds)
+			})))
+	}
+
+	m, err := ftsim.NewFromConfig(cfg, opts...)
+	if err != nil {
+		return err
+	}
+	cfg = m.Config()
+
+	if *dumpConfig {
+		data, err := cfg.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	session, err := m.Load(program)
+	if err != nil {
+		return err
+	}
+	st, err := session.Run(ctx)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("model        %s (R=%d)\n", cfg.Name, cfg.R)
+	fmt.Printf("program      %s\n", program.Name())
 	fmt.Printf("cycles       %d\n", st.Cycles)
 	fmt.Printf("instructions %d (copies %d)\n", st.Committed, st.Copies)
 	fmt.Printf("IPC          %.4f (copy IPC %.4f)\n", st.IPC(), st.CopyIPC())
@@ -118,13 +186,13 @@ func run() error {
 		st.Bpred.CondLookups, 100*st.Bpred.MispredictRate(), st.BranchRewinds)
 	fmt.Printf("caches       il1 %.2f%% dl1 %.2f%% l2 %.2f%% miss\n",
 		100*st.IL1.MissRate(), 100*st.DL1.MissRate(), 100*st.L2.MissRate())
-	if *faultRate > 0 || cfg.R > 1 {
+	if cfg.Fault.Enabled() || cfg.R > 1 {
 		fmt.Printf("faults       injected %d, detected %d, pc-check %d\n",
 			st.Fault.Injected, st.FaultsDetected, st.PCCheckFails)
 		fmt.Printf("recovery     %d rewinds, avg penalty %.1f cycles, %d majority commits\n",
 			st.FaultRewinds, st.AvgRecoveryPenalty(), st.MajorityCommits)
 	}
-	if *oracle {
+	if cfg.Oracle {
 		fmt.Printf("oracle       %d escaped faults\n", st.EscapedFaults)
 	}
 	if *showOutput {
@@ -132,9 +200,9 @@ func run() error {
 			fmt.Printf("out          %d (%#x)\n", int64(v), v)
 		}
 	}
-	if buf != nil {
+	if *traceN > 0 {
 		fmt.Println()
-		buf.Timeline(os.Stdout)
+		session.WriteTimeline(os.Stdout)
 	}
 	return nil
 }

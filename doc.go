@@ -2,13 +2,17 @@
 // Superscalar Datapath for Transient-Fault Detection and Recovery"
 // (Ray, Hoe, Falsafi; MICRO 2001).
 //
-// The library lives under internal/: package core implements the paper's
-// fault-tolerant superscalar (redundant instruction injection,
-// commit-stage cross-checking, rewind recovery and majority election) on
-// top of the out-of-order datapath in package cpu; packages isa, asm,
-// mem, prog, cache, bpred, ecc, funcsim, fault, model, workload, stats
-// and experiments provide the ISA, tooling, substrates and evaluation
-// drivers. See README.md, DESIGN.md and EXPERIMENTS.md.
+// The supported programmatic surface is the top-level package ftsim: a
+// functional-options builder over serializable machine configs,
+// context-aware sessions, streaming progress observers and a typed
+// error taxonomy. The implementation lives under internal/: package
+// core implements the paper's fault-tolerant superscalar (redundant
+// instruction injection, commit-stage cross-checking, rewind recovery
+// and majority election) on top of the out-of-order datapath in
+// package cpu; packages isa, asm, mem, prog, cache, bpred, ecc,
+// funcsim, fault, model, workload, stats, campaign and experiments
+// provide the ISA, tooling, substrates and evaluation drivers. See
+// README.md, DESIGN.md and EXPERIMENTS.md.
 //
 // The benchmarks in this directory (bench_test.go) regenerate every
 // table and figure of the paper's evaluation; run them with

@@ -1,16 +1,15 @@
 // Assembler: write a real kernel — 16x16 integer matrix multiply — in
 // SRISC text assembly, assemble it, and run it on both the functional
-// simulator and the out-of-order pipeline, checking the result against a
-// Go-computed reference.
+// reference simulator and the out-of-order pipeline, checking the
+// result against a Go-computed reference.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/asm"
-	"repro/internal/core"
-	"repro/internal/funcsim"
+	"repro/ftsim"
 )
 
 const n = 16
@@ -112,25 +111,27 @@ func reference() (c [n][n]int64) {
 }
 
 func main() {
-	program, err := asm.Assemble("matmul", matmulSrc)
+	program, err := ftsim.Assemble("matmul", matmulSrc)
 	if err != nil {
 		log.Fatal(err)
 	}
 	want := reference()
 	expect := []int64{want[0][0], want[7][9], want[15][15]}
 
-	// Functional simulator.
-	fm := funcsim.New(program)
-	if err := fm.Run(10_000_000); err != nil {
+	// Functional reference simulator.
+	ref, err := program.Reference(10_000_000)
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("functional: %d instructions, C[0][0]=%d C[7][9]=%d C[15][15]=%d\n",
-		fm.Insts, int64(fm.Output[0]), int64(fm.Output[1]), int64(fm.Output[2]))
+		ref.Insts, int64(ref.Output[0]), int64(ref.Output[1]), int64(ref.Output[2]))
 
 	// Out-of-order pipeline, fault-tolerant mode, with the oracle on.
-	cfg := core.SS2()
-	cfg.Oracle = true
-	st, err := core.Run(program, cfg)
+	m, err := ftsim.New(ftsim.SS2(), ftsim.WithOracle())
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := m.Run(context.Background(), program)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,18 +6,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/fault"
-	"repro/internal/funcsim"
-	"repro/internal/workload"
+	"repro/ftsim"
 )
 
 func main() {
-	profile, _ := workload.ByName("gcc")
-	program, err := profile.Build(1 << 32)
+	program, err := ftsim.Benchmark("gcc")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,27 +23,40 @@ func main() {
 	const rate = 2e-4 // one fault per 5000 executed copies: brutal
 
 	// Fault-free functional reference.
-	ref := funcsim.New(program)
-	if err := ref.Run(insts * 2); err != nil && err != funcsim.ErrLimit {
+	if _, err := program.Reference(insts * 2); err != nil {
 		log.Fatal(err)
 	}
 
-	for _, cfg := range []core.Config{core.SS1(), core.SS2(), core.SS3()} {
-		cfg.Fault = fault.Config{Rate: rate, Seed: 7, Targets: fault.AllTargets}
-		cfg.Oracle = true
-		cfg.MaxInsts = insts
-		cfg.MaxCycles = insts * 200
-		st, err := core.Run(program, cfg)
+	ctx := context.Background()
+	for _, model := range []ftsim.Option{ftsim.SS1(), ftsim.SS2(), ftsim.SS3()} {
+		m, err := ftsim.New(model,
+			ftsim.WithFaultRate(rate),
+			ftsim.WithFaultSeed(7),
+			ftsim.WithFaultTargets(ftsim.AllFaultTargets()...),
+			ftsim.WithOracle(),
+			ftsim.WithMaxInsts(insts),
+			ftsim.WithMaxCycles(insts*200))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-8s injected=%-4d detected=%-4d rewinds=%-4d elected=%-4d avg-recovery=%5.1f cyc  IPC=%.3f  escaped=%d\n",
-			cfg.CPU.Name, st.Fault.Injected, st.FaultsDetected, st.FaultRewinds,
-			st.MajorityCommits, st.AvgRecoveryPenalty(), st.IPC(), st.EscapedFaults)
+		st, err := m.Run(ctx, program)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clean := "committed state clean"
+		if err := ftsim.CheckEscapes(st); err != nil {
+			if !errors.Is(err, ftsim.ErrFaultEscape) {
+				log.Fatal(err)
+			}
+			clean = err.Error()
+		}
+		fmt.Printf("%-8s injected=%-4d detected=%-4d rewinds=%-4d elected=%-4d avg-recovery=%5.1f cyc  IPC=%.3f  %s\n",
+			m.Config().Name, st.Fault.Injected, st.FaultsDetected, st.FaultRewinds,
+			st.MajorityCommits, st.AvgRecoveryPenalty(), st.IPC(), clean)
 	}
 
 	fmt.Println()
-	fmt.Println("SS-1 has no detection: 'escaped' counts silent architectural corruption.")
+	fmt.Println("SS-1 has no detection: its escape audit fails with silent corruption.")
 	fmt.Println("SS-2 detects every effective fault and rewinds (tens of cycles each).")
 	fmt.Println("SS-3 usually commits by majority election instead of rewinding.")
 }

@@ -1,53 +1,76 @@
-// Quickstart: build a small SRISC program, run it on the unprotected
+// Quickstart: assemble a small SRISC program, run it on the unprotected
 // baseline (SS-1) and on the 2-way redundant fault-tolerant design
 // (SS-2), and compare throughput — the basic "performance cost of
-// reliability" measurement of the paper.
+// reliability" measurement of the paper, written entirely against the
+// public ftsim API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/isa"
-	"repro/internal/prog"
+	"repro/ftsim"
 )
 
-func main() {
-	// A loop with eight independent add chains: enough instruction-level
-	// parallelism that redundant execution has spare capacity to use.
-	b := prog.NewBuilder("quickstart")
-	b.Li(1, 20_000) // iterations
-	for r := uint8(2); r < 10; r++ {
-		b.Li(r, int64(r)*1047+13)
-	}
-	b.Label("loop")
-	for r := uint8(2); r < 10; r++ {
-		b.R(isa.OpAdd, r, r, 1)
-	}
-	b.I(isa.OpAddi, 1, 1, -1)
-	b.Branch(isa.OpBne, 1, 0, "loop")
-	b.Li(11, 0)
-	for r := uint8(2); r < 10; r++ {
-		b.R(isa.OpXor, 11, 11, r)
-	}
-	b.Out(11) // checksum
-	b.Halt()
-	program := b.MustBuild()
+// A loop with eight independent add chains: enough instruction-level
+// parallelism that redundant execution has spare capacity to use.
+const src = `
+        li   r1, 20000          ; iterations
+        li   r2, 2107           ; chain seeds: r*1047+13
+        li   r3, 3154
+        li   r4, 4201
+        li   r5, 5248
+        li   r6, 6295
+        li   r7, 7342
+        li   r8, 8389
+        li   r9, 9436
+loop:   add  r2, r2, r1
+        add  r3, r3, r1
+        add  r4, r4, r1
+        add  r5, r5, r1
+        add  r6, r6, r1
+        add  r7, r7, r1
+        add  r8, r8, r1
+        add  r9, r9, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        li   r11, 0             ; fold the chains into a checksum
+        xor  r11, r11, r2
+        xor  r11, r11, r3
+        xor  r11, r11, r4
+        xor  r11, r11, r5
+        xor  r11, r11, r6
+        xor  r11, r11, r7
+        xor  r11, r11, r8
+        xor  r11, r11, r9
+        out  r11
+        halt
+`
 
-	run := func(cfg core.Config) {
-		cfg.Oracle = true
-		st, err := core.Run(program, cfg)
+func main() {
+	program, err := ftsim.Assemble("quickstart.s", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(model ftsim.Option) {
+		m, err := ftsim.New(model, ftsim.WithOracle())
 		if err != nil {
 			log.Fatal(err)
 		}
+		st, err := m.Run(context.Background(), program)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := m.Config()
 		fmt.Printf("%-8s R=%d  cycles=%-8d IPC=%.3f  checksum=%#x  escaped-faults=%d\n",
-			cfg.CPU.Name, cfg.R, st.Cycles, st.IPC(), st.Output[0], st.EscapedFaults)
+			cfg.Name, cfg.R, st.Cycles, st.IPC(), st.Output[0], st.EscapedFaults)
 	}
 
 	fmt.Println("quickstart: identical program, identical results, different protection")
-	run(core.SS1())
-	run(core.SS2())
+	run(ftsim.SS1())
+	run(ftsim.SS2())
 	fmt.Println()
 	fmt.Println("SS-2 executes every instruction twice and cross-checks at commit,")
 	fmt.Println("so its IPC is lower — that gap is the price of fault detection.")

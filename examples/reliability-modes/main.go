@@ -5,53 +5,61 @@
 // majority election.
 //
 // The table sweeps machine modes against fault rates and reports
-// throughput plus whether corrupted state ever committed.
+// throughput plus whether corrupted state ever committed. Machine
+// descriptions are serializable ftsim configs, so any row's exact
+// machine could be persisted with cfg.JSON() and replayed elsewhere.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"text/tabwriter"
 
-	"repro/internal/core"
-	"repro/internal/fault"
-	"repro/internal/stats"
-	"repro/internal/workload"
+	"repro/ftsim"
 )
 
 func main() {
-	profile, _ := workload.ByName("equake")
-	program, err := profile.Build(1 << 32)
+	program, err := ftsim.Benchmark("equake")
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	modes := []struct {
-		name string
-		cfg  core.Config
+		name  string
+		model ftsim.Option
 	}{
-		{"SS-1 (fast, unprotected)", core.SS1()},
-		{"SS-2 (detect + rewind)", core.SS2()},
-		{"SS-3 (majority election)", core.SS3()},
-		{"SS-3 (rewind only)", core.SS3Rewind()},
+		{"SS-1 (fast, unprotected)", ftsim.SS1()},
+		{"SS-2 (detect + rewind)", ftsim.SS2()},
+		{"SS-3 (majority election)", ftsim.SS3()},
+		{"SS-3 (rewind only)", ftsim.SS3Rewind()},
 	}
 	rates := []float64{0, 1e-5, 1e-3}
 
-	t := stats.NewTable("One datapath, four reliability operating points (equake)",
-		"mode", "fault rate", "IPC", "slowdown", "recoveries", "clean state")
+	ctx := context.Background()
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Println("One datapath, four reliability operating points (equake)")
+	fmt.Fprintln(w, "mode\tfault rate\tIPC\tslowdown\trecoveries\tclean state")
 	var base float64
-	for _, m := range modes {
+	for _, mode := range modes {
 		for _, rate := range rates {
-			cfg := m.cfg
-			cfg.Fault = fault.Config{Rate: rate, Seed: 11, Targets: fault.AllTargets}
-			cfg.Oracle = true
-			cfg.MaxInsts = 60_000
-			cfg.MaxCycles = 20_000_000
-			st, err := core.Run(program, cfg)
+			m, err := ftsim.New(mode.model,
+				ftsim.WithFaultRate(rate),
+				ftsim.WithFaultSeed(11),
+				ftsim.WithFaultTargets(ftsim.AllFaultTargets()...),
+				ftsim.WithOracle(),
+				ftsim.WithMaxInsts(60_000),
+				ftsim.WithMaxCycles(20_000_000))
 			if err != nil {
 				log.Fatal(err)
 			}
-			if m.cfg.R == 1 && rate == 0 {
+			st, err := m.Run(ctx, program)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg := m.Config()
+			if cfg.R == 1 && rate == 0 {
 				base = st.IPC()
 			}
 			clean := "yes"
@@ -60,17 +68,17 @@ func main() {
 			}
 			slow := "-"
 			if base > 0 {
-				slow = stats.Pct(1 - st.IPC()/base)
+				slow = fmt.Sprintf("%.1f%%", 100*(1-st.IPC()/base))
 			}
 			rateStr := "0"
 			if rate > 0 {
 				rateStr = fmt.Sprintf("%.0e", rate)
 			}
-			t.Add(m.name, rateStr, stats.F(st.IPC(), 3), slow,
-				fmt.Sprintf("%d", st.FaultRewinds), clean)
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%s\t%d\t%s\n",
+				mode.name, rateStr, st.IPC(), slow, st.FaultRewinds, clean)
 		}
 	}
-	t.Render(os.Stdout)
+	w.Flush()
 	fmt.Println()
 	fmt.Println("Reading the table: redundancy costs throughput up front, but only the")
 	fmt.Println("protected modes keep committed state clean once faults appear; majority")

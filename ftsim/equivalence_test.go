@@ -1,0 +1,407 @@
+package ftsim_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/ftsim"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+// legacyConfig builds the pre-facade core.Config for one model exactly
+// the way the old consumers did.
+func legacyConfig(t *testing.T, model ftsim.Model) core.Config {
+	t.Helper()
+	switch model {
+	case ftsim.ModelSS1:
+		return core.SS1()
+	case ftsim.ModelSS2:
+		return core.SS2()
+	case ftsim.ModelSS3:
+		return core.SS3()
+	case ftsim.ModelSS3Rewind:
+		return core.SS3Rewind()
+	case ftsim.ModelStatic2:
+		return core.Static2()
+	}
+	t.Fatalf("no legacy config for %q", model)
+	return core.Config{}
+}
+
+// TestFacadeMatchesCore is the acceptance gate of the API redesign: the
+// public facade must produce byte-identical Stats to the legacy
+// core.Run path, across the Table 2 workloads and R in {1,2,3}, with
+// fault injection on.
+func TestFacadeMatchesCore(t *testing.T) {
+	benches := ftsim.Benchmarks()
+	if testing.Short() {
+		benches = benches[:3]
+	}
+	models := []ftsim.Model{ftsim.ModelSS1, ftsim.ModelSS2, ftsim.ModelSS3}
+	const insts = 10_000
+	const rate = 1e-4
+
+	for _, bench := range benches {
+		for i, model := range models {
+			seed := int64(100*i) + int64(len(bench)) // arbitrary but deterministic
+			t.Run(bench+"/"+string(model), func(t *testing.T) {
+				// Legacy path: internal core.Config literals, core.Run.
+				profile, ok := workload.ByName(bench)
+				if !ok {
+					t.Fatal("unknown benchmark")
+				}
+				program, err := profile.Build(1 << 32)
+				if err != nil {
+					t.Fatal(err)
+				}
+				legacy := legacyConfig(t, model)
+				legacy.Fault = fault.Config{Rate: rate, Seed: seed, Targets: fault.AllTargets}
+				legacy.MaxInsts = insts
+				legacy.MaxCycles = insts * 100
+				want, err := core.Run(program, legacy)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Facade path: public options and session.
+				m, err := ftsim.New(
+					ftsim.WithModel(model),
+					ftsim.WithFaultRate(rate),
+					ftsim.WithFaultSeed(seed),
+					ftsim.WithFaultTargets(ftsim.AllFaultTargets()...),
+					ftsim.WithMaxInsts(insts),
+					ftsim.WithMaxCycles(insts*100))
+				if err != nil {
+					t.Fatal(err)
+				}
+				fp, err := ftsim.Benchmark(bench)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := m.Run(context.Background(), fp)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("facade stats diverge from core.Run\nlegacy: %s\nfacade: %s",
+						want.Summary(), got.Summary())
+				}
+			})
+		}
+	}
+}
+
+// TestSerializedConfigMatchesCore closes the persistence loop: a config
+// marshalled to JSON and restored with ParseConfig must drive the
+// simulator to the identical Stats.
+func TestSerializedConfigMatchesCore(t *testing.T) {
+	m, err := ftsim.New(ftsim.SS2(),
+		ftsim.WithFaultRate(1e-4),
+		ftsim.WithFaultSeed(42),
+		ftsim.WithFaultTargets(ftsim.AllFaultTargets()...),
+		ftsim.WithMaxInsts(8_000),
+		ftsim.WithMaxCycles(800_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.Config().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ftsim.ParseConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ftsim.NewFromConfig(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := ftsim.Benchmark("fpppp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := m.Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := m2.Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st1, st2) {
+		t.Errorf("restored config diverges:\noriginal: %s\nrestored: %s", st1.Summary(), st2.Summary())
+	}
+}
+
+// TestRunContextCancel: cancelling mid-simulation returns promptly with
+// context.Canceled and partial statistics.
+func TestRunContextCancel(t *testing.T) {
+	m, err := ftsim.New(ftsim.SS2(), ftsim.WithMaxInsts(0), ftsim.WithMaxCycles(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ftsim.Benchmark("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	st, err := s.Run(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	// The run had no limits: only the cancellation can have stopped it,
+	// and it must do so promptly (the loop polls every 1024 cycles).
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+	if st == nil || st.Cycles == 0 {
+		t.Error("cancelled run returned no partial statistics")
+	}
+	if st.Halted {
+		t.Error("cancelled run claims to have halted")
+	}
+}
+
+// TestRunContextDeadline: a deadline behaves like cancellation with
+// context.DeadlineExceeded.
+func TestRunContextDeadline(t *testing.T) {
+	m, err := ftsim.New(ftsim.SS1(), ftsim.WithMaxInsts(0), ftsim.WithMaxCycles(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ftsim.Benchmark("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err = m.Run(ctx, p)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestObserverDoesNotPerturb: an instrumented run must produce the
+// identical Stats as an unobserved one, and the interval stream must be
+// monotonic and end with exactly one Final sample.
+func TestObserverDoesNotPerturb(t *testing.T) {
+	build := func(obs ftsim.Observer) *ftsim.Machine {
+		opts := []ftsim.Option{ftsim.SS2(),
+			ftsim.WithFaultRate(1e-4),
+			ftsim.WithFaultSeed(9),
+			ftsim.WithMaxInsts(20_000),
+			ftsim.WithMaxCycles(2_000_000)}
+		if obs != nil {
+			opts = append(opts, ftsim.WithObserver(obs), ftsim.WithObserveEvery(1000))
+		}
+		m, err := ftsim.New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	p, err := ftsim.Benchmark("vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := build(nil).Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ivs []ftsim.Interval
+	observed, err := build(ftsim.ObserverFunc(func(iv ftsim.Interval) {
+		ivs = append(ivs, iv)
+	})).Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain, observed) {
+		t.Errorf("observation perturbed the simulation:\nplain:    %s\nobserved: %s",
+			plain.Summary(), observed.Summary())
+	}
+	if len(ivs) < 2 {
+		t.Fatalf("got %d interval samples, want a stream", len(ivs))
+	}
+	finals := 0
+	for i, iv := range ivs {
+		if iv.Final {
+			finals++
+			if i != len(ivs)-1 {
+				t.Error("Final interval not last")
+			}
+		}
+		if i > 0 {
+			prev := ivs[i-1]
+			if iv.Cycles < prev.Cycles || iv.Committed < prev.Committed {
+				t.Errorf("interval %d went backwards: %+v -> %+v", i, prev, iv)
+			}
+			if iv.DeltaCommitted != iv.Committed-prev.Committed {
+				t.Errorf("interval %d delta mismatch", i)
+			}
+		}
+	}
+	if finals != 1 {
+		t.Errorf("got %d Final samples, want 1", finals)
+	}
+	last := ivs[len(ivs)-1]
+	if last.Cycles != observed.Cycles || last.Committed != observed.Committed {
+		t.Errorf("final interval (%d cycles, %d insts) != final stats (%d, %d)",
+			last.Cycles, last.Committed, observed.Cycles, observed.Committed)
+	}
+}
+
+// TestConcurrentSessions: one Machine, many concurrent sessions — the
+// pattern a service would use — must race cleanly (run under -race) and
+// produce identical results on every goroutine.
+func TestConcurrentSessions(t *testing.T) {
+	m, err := ftsim.New(ftsim.SS2(),
+		ftsim.WithFaultRate(2e-4),
+		ftsim.WithFaultSeed(5),
+		ftsim.WithFaultTargets(ftsim.AllFaultTargets()...),
+		ftsim.WithMaxInsts(5_000),
+		ftsim.WithMaxCycles(500_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ftsim.Benchmark("ijpeg")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]*ftsim.Stats, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = m.Run(context.Background(), p)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Errorf("session %d diverged from session 0", i)
+		}
+	}
+}
+
+// TestSessionSingleUse: a session cannot be run twice.
+func TestSessionSingleUse(t *testing.T) {
+	m, err := ftsim.New(ftsim.SS1(), ftsim.WithMaxInsts(1_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ftsim.Benchmark("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); !errors.Is(err, ftsim.ErrSessionUsed) {
+		t.Fatalf("second Run returned %v, want ErrSessionUsed", err)
+	}
+}
+
+// TestStrictOracle: under WithStrictOracle an unprotected machine
+// bombarded with faults aborts with the typed oracle-mismatch error.
+func TestStrictOracle(t *testing.T) {
+	m, err := ftsim.New(ftsim.SS1(),
+		ftsim.WithFaultRate(1e-2),
+		ftsim.WithFaultSeed(3),
+		ftsim.WithFaultTargets(ftsim.AllFaultTargets()...),
+		ftsim.WithStrictOracle(),
+		ftsim.WithMaxInsts(50_000),
+		ftsim.WithMaxCycles(50_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ftsim.Benchmark("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run(context.Background(), p)
+	if !errors.Is(err, ftsim.ErrOracleMismatch) {
+		t.Fatalf("strict run returned %v, want ErrOracleMismatch", err)
+	}
+	var oe *ftsim.OracleError
+	if !errors.As(err, &oe) {
+		t.Fatalf("error %v is not an *OracleError", err)
+	}
+	if oe.Cycle == 0 || oe.Diff == "" {
+		t.Errorf("divergence detail missing: %+v", oe)
+	}
+	if st == nil || st.EscapedFaults == 0 {
+		t.Error("escaped fault not counted alongside the error")
+	}
+	if err := ftsim.CheckEscapes(st); !errors.Is(err, ftsim.ErrFaultEscape) {
+		t.Errorf("CheckEscapes = %v, want ErrFaultEscape", err)
+	}
+
+	// The protected design under the same storm detects instead of
+	// escaping: strict mode stays silent and the audit passes.
+	m2, err := ftsim.New(ftsim.SS2(),
+		ftsim.WithFaultRate(1e-3),
+		ftsim.WithFaultSeed(3),
+		ftsim.WithStrictOracle(),
+		ftsim.WithMaxInsts(20_000),
+		ftsim.WithMaxCycles(50_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := m2.Run(context.Background(), p)
+	if err != nil {
+		t.Fatalf("protected strict run failed: %v", err)
+	}
+	if st2.FaultsDetected == 0 {
+		t.Error("no faults detected at rate 1e-3")
+	}
+	if err := ftsim.CheckEscapes(st2); err != nil {
+		t.Errorf("protected run audit failed: %v", err)
+	}
+}
+
+// TestUnknownNames: the name-lookup sentinels.
+func TestUnknownNames(t *testing.T) {
+	if _, err := ftsim.Benchmark("nope"); !errors.Is(err, ftsim.ErrUnknownBenchmark) {
+		t.Errorf("Benchmark(nope) = %v, want ErrUnknownBenchmark", err)
+	}
+	_, err := ftsim.New(ftsim.WithModel("ss99"))
+	if !errors.Is(err, ftsim.ErrUnknownModel) {
+		t.Errorf("New(ss99) = %v, want ErrUnknownModel", err)
+	}
+	if !errors.Is(err, ftsim.ErrInvalidConfig) {
+		t.Errorf("New(ss99) = %v, want ErrInvalidConfig too", err)
+	}
+}

@@ -1,0 +1,56 @@
+package ftsim
+
+// Interval is one progress sample of a running session, streamed to the
+// session's Observer every observation period instead of only as a
+// final Stats blob. Cumulative counters cover the whole run so far;
+// the Delta* fields cover just this interval.
+type Interval struct {
+	// Cycles and Committed are cumulative simulated cycles and
+	// architectural instructions.
+	Cycles    uint64
+	Committed uint64
+	// IPC is the cumulative instructions-per-cycle; IntervalIPC is the
+	// throughput over this interval alone, which is what a live
+	// dashboard wants to plot.
+	IPC         float64
+	IntervalIPC float64
+
+	// Fault-tolerance progress, cumulative.
+	FaultsDetected  uint64
+	FaultRewinds    uint64
+	MajorityCommits uint64
+	BranchRewinds   uint64
+	EscapedFaults   uint64
+
+	// Interval deltas of the same counters.
+	DeltaCommitted      uint64
+	DeltaFaultsDetected uint64
+	DeltaFaultRewinds   uint64
+
+	// Final marks the closing sample, emitted when the run ends (for
+	// any reason, including cancellation). Exactly one Final interval
+	// is delivered per run, and it reflects the complete statistics.
+	Final bool
+}
+
+// Observer receives interval samples from a running session.
+//
+// Observe is called synchronously from the simulation loop: it must not
+// block for long, and it must not call back into the session. A session
+// is single-goroutine, so Observe never runs concurrently with itself
+// for one session; distinct sessions sharing one Observer must make it
+// safe for concurrent use. Observation is a pure tap — enabling it
+// never changes simulation results.
+type Observer interface {
+	Observe(Interval)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Interval)
+
+// Observe calls f.
+func (f ObserverFunc) Observe(iv Interval) { f(iv) }
+
+// DefaultObserveEvery is the observation period, in simulated cycles,
+// used when an Observer is installed without WithObserveEvery.
+const DefaultObserveEvery = 50_000

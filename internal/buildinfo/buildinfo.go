@@ -1,0 +1,69 @@
+// Package buildinfo reports the binary's module version and VCS state,
+// shared by every command's -version flag.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the identifying build metadata of the running binary.
+type Info struct {
+	// Version is the module version ("v1.2.3", or "(devel)" for a
+	// source build).
+	Version string
+	// Revision is the VCS commit the binary was built from, when the
+	// toolchain stamped one.
+	Revision string
+	// Dirty reports uncommitted modifications at build time.
+	Dirty bool
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+}
+
+// Get extracts build metadata via runtime/debug.ReadBuildInfo. It
+// degrades gracefully: binaries built without module or VCS metadata
+// (go run, test binaries) report "unknown" fields rather than failing.
+func Get() Info {
+	info := Info{Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders "v1.2.3 (abc1234, dirty, go1.24.0)"-style output.
+func (i Info) String() string {
+	s := i.Version
+	rev := i.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" {
+		s += " (" + rev
+		if i.Dirty {
+			s += ", dirty"
+		}
+		s += ")"
+	}
+	return s + " " + i.GoVersion
+}
+
+// Print writes "cmd version ..." for a command's -version flag.
+func Print(w io.Writer, cmd string) {
+	fmt.Fprintf(w, "%s version %s\n", cmd, Get())
+}

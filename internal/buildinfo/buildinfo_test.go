@@ -1,0 +1,41 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGetNeverEmpty(t *testing.T) {
+	info := Get()
+	if info.Version == "" {
+		t.Error("Version empty; want a version or \"unknown\"")
+	}
+	if !strings.HasPrefix(info.GoVersion, "go") {
+		t.Errorf("GoVersion = %q", info.GoVersion)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	tests := []struct {
+		in   Info
+		want string
+	}{
+		{Info{Version: "v1.2.3", GoVersion: "go1.24.0"}, "v1.2.3 go1.24.0"},
+		{Info{Version: "(devel)", Revision: "abcdef1234567890", Dirty: true, GoVersion: "go1.24.0"},
+			"(devel) (abcdef123456, dirty) go1.24.0"},
+		{Info{Version: "unknown", Revision: "abc", GoVersion: "go1.24.0"}, "unknown (abc) go1.24.0"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String(%+v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPrint(t *testing.T) {
+	var sb strings.Builder
+	Print(&sb, "ftsim")
+	if !strings.HasPrefix(sb.String(), "ftsim version ") {
+		t.Errorf("Print wrote %q", sb.String())
+	}
+}

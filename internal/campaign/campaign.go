@@ -21,6 +21,7 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -33,11 +34,15 @@ import (
 type Trial struct {
 	// Label names the trial in progress reports, e.g. "fig5/gcc/SS-2".
 	Label string
-	// Run executes the trial. The seed argument is the trial's derived
-	// RNG seed (TrialSeed of the campaign seed and the trial index);
-	// trials that inject faults must seed their injectors from it so the
-	// campaign stays deterministic under any worker count.
-	Run func(seed int64) (any, error)
+	// Run executes the trial. The context is the campaign context and
+	// fires when the campaign is cancelled or a sibling trial fails;
+	// long-running trials should plumb it into their simulation so an
+	// abort stops in-flight work promptly, not just future dispatch.
+	// The seed argument is the trial's derived RNG seed (TrialSeed of
+	// the campaign seed and the trial index); trials that inject faults
+	// must seed their injectors from it so the campaign stays
+	// deterministic under any worker count.
+	Run func(ctx context.Context, seed int64) (any, error)
 }
 
 // Spec is a campaign: a named grid of trials and the master seed all
@@ -105,13 +110,32 @@ func (r *Report) Speedup() float64 {
 
 // Err returns the error of the lowest-index failed trial, so the
 // reported failure is deterministic regardless of completion order.
+// Cancellation errors are reported only when no trial failed for a real
+// reason: one failing trial cancels the campaign context, and the
+// in-flight siblings it interrupts then return context.Canceled — noise
+// that must not mask the root cause.
 func (r *Report) Err() error {
+	var cancelled error
 	for i := range r.Results {
-		if err := r.Results[i].Err; err != nil {
-			return fmt.Errorf("trial %d (%s): %w", i, r.Results[i].Label, err)
+		err := r.Results[i].Err
+		if err == nil {
+			continue
+		}
+		wrapped := fmt.Errorf("trial %d (%s): %w", i, r.Results[i].Label, err)
+		if !isCancellation(err) {
+			return wrapped
+		}
+		if cancelled == nil {
+			cancelled = wrapped
 		}
 	}
-	return nil
+	return cancelled
+}
+
+// isCancellation reports whether err is a context cancellation or
+// deadline expiry rather than a trial's own failure.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // TrialSeed derives the RNG seed for one trial from the campaign seed.
@@ -182,7 +206,7 @@ func (r Runner) Run(ctx context.Context, spec Spec) (*Report, error) {
 				t := spec.Trials[idx]
 				res := Result{Index: idx, Label: t.Label, Seed: spec.trialSeed(idx)}
 				t0 := time.Now()
-				res.Value, res.Err = t.Run(res.Seed)
+				res.Value, res.Err = t.Run(ctx, res.Seed)
 				res.Elapsed = time.Since(t0)
 				rep.Results[idx] = res
 				if res.Err != nil {
@@ -212,17 +236,17 @@ dispatch:
 	close(jobs)
 	wg.Wait()
 	rep.Wall = time.Since(start)
-	if err := rep.Err(); err != nil {
-		return rep, err
-	}
-	// No trial failed but dispatch stopped early: the caller's context
-	// was cancelled. Surface it — a silently partial report would read
-	// as a completed campaign.
-	if dispatched < n {
+	err := rep.Err()
+	// Dispatch stopped early without any trial failing for a real
+	// reason: the caller's context was cancelled. Surface the campaign-
+	// level cancellation — a silently partial report would read as a
+	// completed campaign, and a trial-level context.Canceled would bury
+	// how much of the grid was abandoned.
+	if dispatched < n && (err == nil || isCancellation(err)) {
 		return rep, fmt.Errorf("campaign %s: cancelled after %d/%d trials dispatched: %w",
 			spec.Name, dispatched, n, context.Cause(ctx))
 	}
-	return rep, nil
+	return rep, err
 }
 
 // Collect extracts the trial values as a typed slice in grid order.

@@ -38,7 +38,7 @@ func testSpec(n int) Spec {
 		i := i
 		trials[i] = Trial{
 			Label: fmt.Sprintf("trial-%d", i),
-			Run: func(seed int64) (any, error) {
+			Run: func(_ context.Context, seed int64) (any, error) {
 				time.Sleep(time.Duration((i*7)%5) * time.Millisecond)
 				return seed ^ int64(i), nil
 			},
@@ -142,8 +142,8 @@ func TestRunnerErrorIsLowestIndex(t *testing.T) {
 	spec := testSpec(16)
 	// Two failures; the reported one must be the lower index no matter
 	// which completes first.
-	spec.Trials[3].Run = func(int64) (any, error) { return nil, boom }
-	spec.Trials[9].Run = func(int64) (any, error) { return nil, boom }
+	spec.Trials[3].Run = func(context.Context, int64) (any, error) { return nil, boom }
+	spec.Trials[9].Run = func(context.Context, int64) (any, error) { return nil, boom }
 	for _, w := range []int{1, 8} {
 		_, err := Runner{Workers: w}.Run(context.Background(), spec)
 		if !errors.Is(err, boom) {
@@ -178,9 +178,68 @@ func TestRunnerEmptyAndCancel(t *testing.T) {
 	}
 }
 
+// TestCancelReachesInFlightTrials: the campaign context is handed to
+// every trial, so cancelling mid-trial interrupts running work instead
+// of only stopping future dispatch.
+func TestCancelReachesInFlightTrials(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	spec := Spec{Name: "cancel", Trials: []Trial{{
+		Label: "blocker",
+		Run: func(ctx context.Context, _ int64) (any, error) {
+			close(started)
+			<-ctx.Done() // a well-behaved long trial honours its context
+			return nil, ctx.Err()
+		},
+	}}}
+	go func() {
+		<-started
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Runner{Workers: 1}.Run(ctx, spec)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("campaign returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation never reached the in-flight trial")
+	}
+}
+
+// TestTrialFailureNotMaskedByCancellation: when one trial fails, the
+// campaign cancels its siblings; the reported error must stay the real
+// failure, not a lower-index sibling's context.Canceled.
+func TestTrialFailureNotMaskedByCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	blocked := make(chan struct{})
+	spec := Spec{Name: "mask", Trials: []Trial{
+		{Label: "innocent", Run: func(ctx context.Context, _ int64) (any, error) {
+			close(blocked)
+			<-ctx.Done() // interrupted by the sibling's failure
+			return nil, ctx.Err()
+		}},
+		{Label: "guilty", Run: func(context.Context, int64) (any, error) {
+			<-blocked // fail only once the innocent trial is in flight
+			return nil, boom
+		}},
+	}}
+	_, err := Runner{Workers: 2}.Run(context.Background(), spec)
+	if !errors.Is(err, boom) {
+		t.Fatalf("campaign returned %v, want the real failure", err)
+	}
+	if !strings.Contains(err.Error(), "guilty") {
+		t.Errorf("error %v does not name the failing trial", err)
+	}
+}
+
 func TestCollectTypeMismatch(t *testing.T) {
 	rep, err := Runner{Workers: 1}.Run(context.Background(), Spec{Trials: []Trial{
-		{Label: "s", Run: func(int64) (any, error) { return "str", nil }},
+		{Label: "s", Run: func(context.Context, int64) (any, error) { return "str", nil }},
 	}})
 	if err != nil {
 		t.Fatal(err)

@@ -16,6 +16,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/cpu"
 	"repro/internal/fault"
 	"repro/internal/prog"
@@ -55,6 +57,9 @@ type Config struct {
 	RecoveryPenalty int
 	// Oracle enables the in-order co-simulation check of Section 5.1.1.
 	Oracle bool
+	// StrictOracle aborts the run with a *cpu.OracleError on the first
+	// oracle divergence instead of only counting an escaped fault.
+	StrictOracle bool
 
 	// Run limits (zero = unlimited).
 	MaxInsts  uint64
@@ -127,6 +132,7 @@ func (c Config) Build(p *prog.Program) (*cpu.Machine, error) {
 	cfg.TransformOperands = c.TransformOperands
 	cfg.RecoveryPenalty = c.RecoveryPenalty
 	cfg.Oracle = c.Oracle
+	cfg.StrictOracle = c.StrictOracle
 	cfg.MaxInsts = c.MaxInsts
 	cfg.MaxCycles = c.MaxCycles
 	return cpu.New(cfg, p)
@@ -135,9 +141,16 @@ func (c Config) Build(p *prog.Program) (*cpu.Machine, error) {
 // Run builds and runs the machine to completion (program halt or run
 // limits) and returns its statistics.
 func Run(p *prog.Program, c Config) (*cpu.Stats, error) {
+	return RunContext(context.Background(), p, c)
+}
+
+// RunContext is Run with cooperative cancellation plumbed into the
+// pipeline loop: when ctx fires mid-simulation the run stops promptly
+// and returns ctx.Err() with the statistics gathered so far.
+func RunContext(ctx context.Context, p *prog.Program, c Config) (*cpu.Stats, error) {
 	m, err := c.Build(p)
 	if err != nil {
 		return nil, err
 	}
-	return m.Run()
+	return m.RunContext(ctx)
 }

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/fault"
@@ -72,9 +73,13 @@ func (m *Machine) commit() error {
 			if verdict.Majority {
 				m.stats.MajorityCommits++
 			}
-			m.retire(c0, group[verdict.Copy], oi)
+			if err := m.retire(c0, group[verdict.Copy], oi); err != nil {
+				return err
+			}
 		} else {
-			m.retire(c0, c0, oi)
+			if err := m.retire(c0, c0, oi); err != nil {
+				return err
+			}
 		}
 
 		for _, e := range group {
@@ -125,8 +130,9 @@ func (m *Machine) corruptResident(e *Entry) {
 
 // retire applies one instruction's architectural effects, using the
 // values of the chosen (cross-checked or majority) copy, and steps the
-// oracle.
-func (m *Machine) retire(c0, chosen *Entry, oi *isa.OpInfo) {
+// oracle. The returned error is non-nil only under StrictOracle, when
+// the co-simulation diverges.
+func (m *Machine) retire(c0, chosen *Entry, oi *isa.OpInfo) error {
 	in := c0.Inst
 
 	// Release the map table reference if this group is still the latest
@@ -161,15 +167,17 @@ func (m *Machine) retire(c0, chosen *Entry, oi *isa.OpInfo) {
 	m.nextPC.Set(chosen.NextPC)
 
 	if m.oracleLive {
-		m.checkOracle(c0, chosen, oi, size)
+		return m.checkOracle(c0, chosen, oi, size)
 	}
+	return nil
 }
 
 // checkOracle steps the in-order co-simulation one instruction and
 // compares every architectural effect, per Section 5.1.1. The first
 // divergence marks an escaped fault; comparison stops afterwards because
-// the two states can no longer agree.
-func (m *Machine) checkOracle(c0, chosen *Entry, oi *isa.OpInfo, size int) {
+// the two states can no longer agree. Under StrictOracle the divergence
+// additionally aborts the run with an *OracleError.
+func (m *Machine) checkOracle(c0, chosen *Entry, oi *isa.OpInfo, size int) error {
 	got := funcsim.Effect{
 		PC:     c0.PC,
 		Inst:   c0.Inst,
@@ -201,13 +209,40 @@ func (m *Machine) checkOracle(c0, chosen *Entry, oi *isa.OpInfo, size int) {
 	if err != nil {
 		m.stats.EscapedFaults++
 		m.oracleLive = false
-		return
+		if m.cfg.StrictOracle {
+			return &OracleError{Cycle: m.cycle, PC: c0.PC, Diff: "oracle: " + err.Error()}
+		}
+		return nil
 	}
 	if diff := want.Mismatch(got); diff != "" {
 		m.stats.EscapedFaults++
 		m.oracleLive = false
+		if m.cfg.StrictOracle {
+			return &OracleError{Cycle: m.cycle, PC: c0.PC, Diff: diff}
+		}
 	}
+	return nil
 }
+
+// ErrOracleMismatch is the sentinel every *OracleError unwraps to: the
+// in-order co-simulation of Section 5.1.1 diverged from the pipeline's
+// committed architectural state, meaning corrupted state escaped the
+// commit-stage checks and was committed.
+var ErrOracleMismatch = errors.New("cpu: oracle co-simulation diverged (corrupted state committed)")
+
+// OracleError reports the first oracle divergence of a StrictOracle run.
+type OracleError struct {
+	Cycle uint64 // cycle of the diverging commit
+	PC    uint64 // program counter of the diverging instruction
+	Diff  string // which architectural effect disagreed
+}
+
+func (e *OracleError) Error() string {
+	return fmt.Sprintf("%v at cycle %d (pc %#x): %s", ErrOracleMismatch, e.Cycle, e.PC, e.Diff)
+}
+
+// Unwrap makes errors.Is(err, ErrOracleMismatch) hold.
+func (e *OracleError) Unwrap() error { return ErrOracleMismatch }
 
 // faultRewind is the paper's recovery action: discard the entire RUU and
 // restart execution by refetching from the committed next-PC register.

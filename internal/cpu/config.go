@@ -90,9 +90,23 @@ type Config struct {
 	// Oracle enables the in-order co-simulation sanity check from
 	// Section 5.1.1.
 	Oracle bool
+	// StrictOracle makes the first oracle divergence abort the run with
+	// an *OracleError instead of only counting an escaped fault. It has
+	// no effect unless Oracle is set.
+	StrictOracle bool
 	// Tracer, when non-nil, receives per-copy pipeline events
 	// (dispatch, issue, complete, commit, squash).
 	Tracer trace.Recorder
+
+	// Observe, when non-nil, is called from the run loop every
+	// ObserveEvery cycles with the live statistics. The callback must
+	// treat the Stats as read-only and must not retain the pointer past
+	// the call: observation is a pure tap and never perturbs simulation
+	// results.
+	Observe func(*Stats)
+	// ObserveEvery is the observation period in cycles; 0 disables
+	// periodic observation even when Observe is set.
+	ObserveEvery uint64
 
 	// Run limits. Zero means unlimited.
 	MaxInsts  uint64 // committed (architectural) instructions

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -167,7 +168,20 @@ func (m *Machine) Halted() bool { return m.halted }
 // Run simulates until the program halts or a run limit is reached, and
 // returns the final statistics.
 func (m *Machine) Run() (*Stats, error) {
+	return m.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the context's Done
+// channel is polled every cancelCheckPeriod cycles, so cancellation or a
+// deadline stops the simulation promptly (well under a millisecond of
+// simulated work) and returns ctx.Err() alongside the statistics
+// gathered so far. A background context adds no per-cycle overhead
+// beyond a nil check, and the simulated results are bit-identical for
+// any context that never fires.
+func (m *Machine) RunContext(ctx context.Context) (*Stats, error) {
 	const deadlockWindow = 200_000
+	const cancelCheckPeriod = 1024 // power of two: cheap mask test
+	done := ctx.Done()
 	for !m.halted && !m.stopped {
 		if m.cfg.MaxCycles > 0 && m.cycle >= m.cfg.MaxCycles {
 			break
@@ -175,12 +189,21 @@ func (m *Machine) Run() (*Stats, error) {
 		if m.cfg.MaxInsts > 0 && m.stats.Committed >= m.cfg.MaxInsts {
 			break
 		}
+		if done != nil && m.cycle&(cancelCheckPeriod-1) == 0 {
+			select {
+			case <-done:
+				m.finishStats()
+				return &m.stats, ctx.Err()
+			default:
+			}
+		}
 		m.cycle++
 		m.stats.Cycles = m.cycle
 		m.stats.RUUOccupancy += uint64(m.ruu.count)
 		m.stats.LSQOccupancy += uint64(m.lsq.count)
 
 		if err := m.commit(); err != nil {
+			m.finishStats()
 			return &m.stats, err
 		}
 		if m.halted || m.stopped {
@@ -191,11 +214,22 @@ func (m *Machine) Run() (*Stats, error) {
 		m.dispatch()
 		m.fetch()
 
+		if m.cfg.ObserveEvery > 0 && m.cfg.Observe != nil && m.cycle%m.cfg.ObserveEvery == 0 {
+			m.cfg.Observe(&m.stats)
+		}
+
 		if m.cycle-m.lastCommitCycle > deadlockWindow {
+			m.finishStats()
 			return &m.stats, fmt.Errorf("%w at cycle %d (pc %#x, ruu %d/%d)",
 				ErrDeadlock, m.cycle, m.fetchPC, m.ruu.count, m.ruu.limit)
 		}
 	}
+	m.finishStats()
+	return &m.stats, nil
+}
+
+// finishStats folds the subsystem counters into the machine statistics.
+func (m *Machine) finishStats() {
 	m.stats.Halted = m.halted
 	m.stats.Bpred = m.bp.Stats
 	m.stats.IL1 = m.caches.IL1.Stats
@@ -204,7 +238,6 @@ func (m *Machine) Run() (*Stats, error) {
 	if m.injector != nil {
 		m.stats.Fault = m.injector.Stats
 	}
-	return &m.stats, nil
 }
 
 // ---------------------------------------------------------------------

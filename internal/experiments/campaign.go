@@ -3,18 +3,16 @@ package experiments
 import (
 	"context"
 
+	"repro/ftsim"
 	"repro/internal/campaign"
-	"repro/internal/core"
-	"repro/internal/cpu"
-	"repro/internal/workload"
 )
 
 // simPoint is one (benchmark, machine configuration) cell of an
 // experiment grid.
 type simPoint struct {
 	label string
-	prof  workload.Profile
-	cfg   core.Config
+	bench string
+	cfg   ftsim.Config
 }
 
 // runCampaign runs a trial grid through the campaign engine with the
@@ -24,7 +22,11 @@ type simPoint struct {
 func runCampaign(name string, trials []campaign.Trial, group func(int) int, opt Options) (*campaign.Report, error) {
 	runner := campaign.Runner{Workers: opt.Parallel, Progress: opt.Progress}
 	spec := campaign.Spec{Name: name, Seed: opt.FaultSeed, SeedIndex: group, Trials: trials}
-	rep, err := runner.Run(context.Background(), spec)
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rep, err := runner.Run(ctx, spec)
 	if rep != nil && opt.Report != nil {
 		opt.Report(rep)
 	}
@@ -36,7 +38,7 @@ func runCampaign(name string, trials []campaign.Trial, group func(int) int, opt 
 // seed: every point with fault injection enabled has its injector
 // reseeded with the engine's derived per-trial seed, so results depend
 // only on (grid, seed) — never on worker count or completion order.
-func runGrid(name string, points []simPoint, opt Options) ([]*cpu.Stats, error) {
+func runGrid(name string, points []simPoint, opt Options) ([]*ftsim.Stats, error) {
 	return runGridGrouped(name, points, nil, opt)
 }
 
@@ -45,18 +47,18 @@ func runGrid(name string, points []simPoint, opt Options) ([]*cpu.Stats, error) 
 // controlled comparisons (R=2 vs R=3 at one fault rate, a penalty sweep
 // at one rate) measure the design's difference, not the RNG's. nil
 // means every point is its own group.
-func runGridGrouped(name string, points []simPoint, group func(int) int, opt Options) ([]*cpu.Stats, error) {
+func runGridGrouped(name string, points []simPoint, group func(int) int, opt Options) ([]*ftsim.Stats, error) {
 	trials := make([]campaign.Trial, len(points))
 	for i := range points {
 		pt := points[i]
 		trials[i] = campaign.Trial{
 			Label: pt.label,
-			Run: func(seed int64) (any, error) {
+			Run: func(ctx context.Context, seed int64) (any, error) {
 				cfg := pt.cfg
 				if cfg.Fault.Enabled() {
 					cfg.Fault.Seed = seed
 				}
-				return runBench(pt.prof, cfg, opt)
+				return runBench(ctx, pt.bench, cfg, opt)
 			},
 		}
 	}
@@ -64,5 +66,5 @@ func runGridGrouped(name string, points []simPoint, group func(int) int, opt Opt
 	if err != nil {
 		return nil, err
 	}
-	return campaign.Collect[*cpu.Stats](rep)
+	return campaign.Collect[*ftsim.Stats](rep)
 }

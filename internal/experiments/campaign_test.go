@@ -15,6 +15,9 @@ import (
 // injection); Fig5 covers the fault-free grids.
 func TestCampaignDeterminism(t *testing.T) {
 	serial := Options{MaxInsts: 6_000, FaultSeed: 11, Parallel: 1}
+	if testing.Short() {
+		serial.MaxInsts = 2_000 // keep the concurrency gate, trim the budget
+	}
 	par := serial
 	par.Parallel = 8
 
@@ -36,6 +39,9 @@ func TestCampaignDeterminism(t *testing.T) {
 		t.Error("fig6 rendered tables not byte-identical")
 	}
 
+	if testing.Short() {
+		return // the fig6 arm above already exercised worker-count invariance
+	}
 	f1, err := Fig5(serial)
 	if err != nil {
 		t.Fatal(err)

@@ -3,16 +3,20 @@
 // ablations. Each driver returns structured results (so tests can assert
 // the paper's qualitative claims) and has a Print companion that renders
 // the same rows a reader would compare against the paper.
+//
+// All simulation-backed drivers are thin grids over the public ftsim
+// facade: every trial builds an ftsim machine from a serializable
+// ftsim.Config and runs it under the campaign context, so experiments
+// exercise exactly the API embedders use.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"repro/ftsim"
 	"repro/internal/campaign"
-	"repro/internal/core"
-	"repro/internal/cpu"
-	"repro/internal/fault"
 	"repro/internal/funcsim"
 	"repro/internal/model"
 	"repro/internal/stats"
@@ -32,6 +36,10 @@ type Options struct {
 	// Parallel is the campaign worker-pool size: 0 uses GOMAXPROCS,
 	// 1 forces a serial run. Results are identical for any value.
 	Parallel int
+	// Context, when non-nil, cancels the campaign: dispatch stops and
+	// in-flight simulations abort promptly (the context is plumbed
+	// through the worker pool into every pipeline loop).
+	Context context.Context
 	// Progress, when non-nil, observes every campaign trial completion.
 	Progress campaign.Progress
 	// Report, when non-nil, receives each finished campaign's report
@@ -54,15 +62,20 @@ func (o Options) defaults() Options {
 // are always cut off by MaxInsts first.
 const workloadIters = int64(1) << 32
 
-// runBench simulates one benchmark on one machine configuration.
-func runBench(p workload.Profile, cfg core.Config, opt Options) (*cpu.Stats, error) {
-	program, err := p.Build(workloadIters)
+// runBench simulates one benchmark on one machine configuration through
+// the public facade, honouring the campaign context.
+func runBench(ctx context.Context, bench string, cfg ftsim.Config, opt Options) (*ftsim.Stats, error) {
+	program, err := ftsim.Benchmark(bench)
 	if err != nil {
 		return nil, err
 	}
 	cfg.MaxInsts = opt.MaxInsts
 	cfg.MaxCycles = opt.MaxInsts * 100 // generous safety net
-	return core.Run(program, cfg)
+	m, err := ftsim.NewFromConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(ctx, program)
 }
 
 // ---------------------------------------------------------------------
@@ -71,18 +84,19 @@ func runBench(p workload.Profile, cfg core.Config, opt Options) (*cpu.Stats, err
 // PrintTable1 renders the simulated machine parameters, mirroring the
 // paper's Table 1.
 func PrintTable1(w io.Writer) {
-	cfg := core.SS1().CPU
+	cfg := ftsim.ModelSS1.Config()
+	p := cfg.Pipeline
 	t := stats.NewTable("Table 1: baseline superscalar machine parameters", "parameter", "value")
 	t.Add("fetch/decode/issue/commit width", fmt.Sprintf("%d / %d / %d / %d",
-		cfg.FetchWidth, cfg.DispatchWidth, cfg.IssueWidth, cfg.CommitWidth))
-	t.Add("RUU / LSQ size", fmt.Sprintf("%d / %d", cfg.RUUSize, cfg.LSQSize))
-	t.Add("branch predictor", cfg.Bpred.String())
-	t.Add("IL1", cfg.Hierarchy.IL1.String())
-	t.Add("DL1", cfg.Hierarchy.DL1.String()+fmt.Sprintf(", %d R/W ports", cfg.MemPorts))
-	t.Add("UL2", cfg.Hierarchy.L2.String())
-	t.Add("memory latency", fmt.Sprintf("%d cycles", cfg.Hierarchy.MemLatency))
+		p.FetchWidth, p.DispatchWidth, p.IssueWidth, p.CommitWidth))
+	t.Add("RUU / LSQ size", fmt.Sprintf("%d / %d", p.RUUSize, p.LSQSize))
+	t.Add("branch predictor", cfg.BranchPred.String())
+	t.Add("IL1", cfg.Memory.IL1.String())
+	t.Add("DL1", cfg.Memory.DL1.String()+fmt.Sprintf(", %d R/W ports", p.MemPorts))
+	t.Add("UL2", cfg.Memory.L2.String())
+	t.Add("memory latency", fmt.Sprintf("%d cycles", cfg.Memory.Latency))
 	t.Add("functional units", fmt.Sprintf("%d IntALU, %d IntMult/Div, %d FPAdd, %d FPMult/Div",
-		cfg.IntALU, cfg.IntMult, cfg.FPAdd, cfg.FPMult))
+		p.IntALU, p.IntMult, p.FPAdd, p.FPMult))
 	t.Render(w)
 }
 
@@ -107,14 +121,33 @@ func Table2(opt Options) ([]MixRow, error) {
 		p := profiles[i]
 		trials[i] = campaign.Trial{
 			Label: "table2/" + p.Name,
-			Run: func(int64) (any, error) {
+			Run: func(ctx context.Context, _ int64) (any, error) {
 				program, err := p.Build(workloadIters)
 				if err != nil {
 					return nil, err
 				}
+				// The functional simulator has no context plumbing of its
+				// own; stepping it in bounded chunks keeps the trial
+				// responsive to campaign cancellation without changing
+				// the measured mix (the stepper is deterministic, so N
+				// chunked runs equal one straight run).
+				const chunk = 65_536
 				m := funcsim.New(program)
-				if err := m.Run(opt.MaxInsts); err != nil && err != funcsim.ErrLimit {
-					return nil, fmt.Errorf("table2 %s: %w", p.Name, err)
+				for {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					lim := m.Insts + chunk
+					if lim > opt.MaxInsts {
+						lim = opt.MaxInsts
+					}
+					err := m.Run(lim)
+					if err == nil || m.Insts >= opt.MaxInsts {
+						break // halted or budget exhausted
+					}
+					if err != funcsim.ErrLimit {
+						return nil, fmt.Errorf("table2 %s: %w", p.Name, err)
+					}
 				}
 				return m.Mix(), nil
 			},
@@ -219,9 +252,9 @@ func Fig5(opt Options) ([]Fig5Row, error) {
 	points := make([]simPoint, 0, 3*len(profiles))
 	for _, p := range profiles {
 		points = append(points,
-			simPoint{"fig5/" + p.Name + "/SS-1", p, core.SS1()},
-			simPoint{"fig5/" + p.Name + "/Static-2", p, core.Static2()},
-			simPoint{"fig5/" + p.Name + "/SS-2", p, core.SS2()})
+			simPoint{"fig5/" + p.Name + "/SS-1", p.Name, ftsim.ModelSS1.Config()},
+			simPoint{"fig5/" + p.Name + "/Static-2", p.Name, ftsim.ModelStatic2.Config()},
+			simPoint{"fig5/" + p.Name + "/SS-2", p.Name, ftsim.ModelSS2.Config()})
 	}
 	sts, err := runGrid("fig5", points, opt)
 	if err != nil {
@@ -279,22 +312,21 @@ type Fig6Row struct {
 // fpppp) on the R=2 rewind design and the R=3 majority design.
 func Fig6(bench string, opt Options) ([]Fig6Row, error) {
 	opt = opt.defaults()
-	p, ok := workload.ByName(bench)
-	if !ok {
+	if _, ok := workload.ByName(bench); !ok {
 		return nil, fmt.Errorf("fig6: unknown benchmark %q", bench)
 	}
 	ratesPerM := []float64{0, 1, 10, 100, 1000, 5000, 10_000, 20_000, 50_000, 100_000}
 	points := make([]simPoint, 0, 2*len(ratesPerM))
 	for _, rm := range ratesPerM {
 		// Seed is set per trial by the campaign grid (runGridGrouped).
-		fc := fault.Config{Rate: rm / 1e6, Targets: fault.AllTargets}
-		ss2 := core.SS2()
+		fc := ftsim.FaultConfig{Rate: rm / 1e6, Targets: ftsim.AllFaultTargets()}
+		ss2 := ftsim.ModelSS2.Config()
 		ss2.Fault = fc
-		ss3 := core.SS3()
+		ss3 := ftsim.ModelSS3.Config()
 		ss3.Fault = fc
 		points = append(points,
-			simPoint{fmt.Sprintf("fig6/%s/R2@%g", bench, rm), p, ss2},
-			simPoint{fmt.Sprintf("fig6/%s/R3@%g", bench, rm), p, ss3})
+			simPoint{fmt.Sprintf("fig6/%s/R2@%g", bench, rm), bench, ss2},
+			simPoint{fmt.Sprintf("fig6/%s/R3@%g", bench, rm), bench, ss3})
 	}
 	// The R=2 and R=3 arms at one fault rate share a seed group, so each
 	// row compares the two designs under the identical fault stream.

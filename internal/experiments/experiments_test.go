@@ -11,6 +11,9 @@ import (
 var testOpt = Options{MaxInsts: 25_000}
 
 func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 33-point Figure 5 grid; skipped in -short")
+	}
 	rows, err := Fig5(testOpt)
 	if err != nil {
 		t.Fatal(err)
@@ -120,6 +123,9 @@ func indexOfFreq(freqs []float64, f float64) int {
 }
 
 func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fault-frequency sweep; skipped in -short (TestCampaignDeterminism covers the fig6 path)")
+	}
 	rows, err := Fig6("fpppp", Options{MaxInsts: 20_000, FaultSeed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -169,6 +175,9 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestSensitivityClassification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("77-point sensitivity grid; skipped in -short")
+	}
 	rows, err := Sensitivity(Options{MaxInsts: 20_000})
 	if err != nil {
 		t.Fatal(err)

@@ -4,8 +4,7 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/core"
-	"repro/internal/fault"
+	"repro/ftsim"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -46,7 +45,7 @@ type SensRow struct {
 }
 
 // scaleFU multiplies every functional-unit pool (minimum 1 unit each).
-func scaleFU(cfg core.Config, factor float64) core.Config {
+func scaleFU(cfg ftsim.Config, factor float64) ftsim.Config {
 	mul := func(n int) int {
 		v := int(float64(n)*factor + 0.5)
 		if v < 1 {
@@ -54,18 +53,18 @@ func scaleFU(cfg core.Config, factor float64) core.Config {
 		}
 		return v
 	}
-	cfg.CPU.IntALU = mul(cfg.CPU.IntALU)
-	cfg.CPU.IntMult = mul(cfg.CPU.IntMult)
-	cfg.CPU.FPAdd = mul(cfg.CPU.FPAdd)
-	cfg.CPU.FPMult = mul(cfg.CPU.FPMult)
-	cfg.CPU.MemPorts = mul(cfg.CPU.MemPorts)
+	cfg.Pipeline.IntALU = mul(cfg.Pipeline.IntALU)
+	cfg.Pipeline.IntMult = mul(cfg.Pipeline.IntMult)
+	cfg.Pipeline.FPAdd = mul(cfg.Pipeline.FPAdd)
+	cfg.Pipeline.FPMult = mul(cfg.Pipeline.FPMult)
+	cfg.Pipeline.MemPorts = mul(cfg.Pipeline.MemPorts)
 	return cfg
 }
 
 // scaleWindow multiplies the RUU and LSQ sizes.
-func scaleWindow(cfg core.Config, factor float64) core.Config {
-	cfg.CPU.RUUSize = int(float64(cfg.CPU.RUUSize) * factor)
-	cfg.CPU.LSQSize = int(float64(cfg.CPU.LSQSize) * factor)
+func scaleWindow(cfg ftsim.Config, factor float64) ftsim.Config {
+	cfg.Pipeline.RUUSize = int(float64(cfg.Pipeline.RUUSize) * factor)
+	cfg.Pipeline.LSQSize = int(float64(cfg.Pipeline.LSQSize) * factor)
 	return cfg
 }
 
@@ -74,23 +73,24 @@ func scaleWindow(cfg core.Config, factor float64) core.Config {
 func Sensitivity(opt Options) ([]SensRow, error) {
 	opt = opt.defaults()
 	const gainThreshold = 0.08
+	ss1 := ftsim.ModelSS1.Config()
 	scales := []struct {
 		name string
-		cfg  core.Config
+		cfg  ftsim.Config
 	}{
-		{"base", core.SS1()},
-		{"fu-0.5x", scaleFU(core.SS1(), 0.5)},
-		{"fu-2x", scaleFU(core.SS1(), 2)},
-		{"fu-16x", scaleFU(core.SS1(), 16)},
-		{"ruu-0.5x", scaleWindow(core.SS1(), 0.5)},
-		{"ruu-2x", scaleWindow(core.SS1(), 2)},
-		{"ruu-16x", scaleWindow(core.SS1(), 16)},
+		{"base", ss1},
+		{"fu-0.5x", scaleFU(ss1, 0.5)},
+		{"fu-2x", scaleFU(ss1, 2)},
+		{"fu-16x", scaleFU(ss1, 16)},
+		{"ruu-0.5x", scaleWindow(ss1, 0.5)},
+		{"ruu-2x", scaleWindow(ss1, 2)},
+		{"ruu-16x", scaleWindow(ss1, 16)},
 	}
 	profiles := workload.Table2()
 	points := make([]simPoint, 0, len(profiles)*len(scales))
 	for _, p := range profiles {
 		for _, s := range scales {
-			points = append(points, simPoint{"sens/" + p.Name + "/" + s.name, p, s.cfg})
+			points = append(points, simPoint{"sens/" + p.Name + "/" + s.name, p.Name, s.cfg})
 		}
 	}
 	sts, err := runGrid("sensitivity", points, opt)
@@ -153,15 +153,15 @@ func AblateCoSchedule(benches []string, opt Options) ([]CoSchedRow, error) {
 	opt = opt.defaults()
 	points := make([]simPoint, 0, 2*len(benches))
 	for _, name := range benches {
-		p, ok := workload.ByName(name)
+		_, ok := workload.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("ablate-cosched: unknown benchmark %q", name)
 		}
-		cs := core.SS2()
+		cs := ftsim.ModelSS2.Config()
 		cs.CoSchedule = true
 		points = append(points,
-			simPoint{"cosched/" + name + "/default", p, core.SS2()},
-			simPoint{"cosched/" + name + "/co-scheduled", p, cs})
+			simPoint{"cosched/" + name + "/default", name, ftsim.ModelSS2.Config()},
+			simPoint{"cosched/" + name + "/co-scheduled", name, cs})
 	}
 	sts, err := runGrid("ablate-cosched", points, opt)
 	if err != nil {
@@ -201,19 +201,19 @@ type CommitWidthRow struct {
 // and SS-2.
 func AblateCommitWidth(bench string, widths []int, opt Options) ([]CommitWidthRow, error) {
 	opt = opt.defaults()
-	p, ok := workload.ByName(bench)
+	_, ok := workload.ByName(bench)
 	if !ok {
 		return nil, fmt.Errorf("ablate-commit: unknown benchmark %q", bench)
 	}
 	points := make([]simPoint, 0, 2*len(widths))
 	for _, wd := range widths {
-		c1 := core.SS1()
-		c1.CPU.CommitWidth = wd
-		c2 := core.SS2()
-		c2.CPU.CommitWidth = wd
+		c1 := ftsim.ModelSS1.Config()
+		c1.Pipeline.CommitWidth = wd
+		c2 := ftsim.ModelSS2.Config()
+		c2.Pipeline.CommitWidth = wd
 		points = append(points,
-			simPoint{fmt.Sprintf("commit/%s/SS-1/w%d", bench, wd), p, c1},
-			simPoint{fmt.Sprintf("commit/%s/SS-2/w%d", bench, wd), p, c2})
+			simPoint{fmt.Sprintf("commit/%s/SS-1/w%d", bench, wd), bench, c1},
+			simPoint{fmt.Sprintf("commit/%s/SS-2/w%d", bench, wd), bench, c2})
 	}
 	sts, err := runGrid("ablate-commit", points, opt)
 	if err != nil {
@@ -254,17 +254,17 @@ type RecoveryGrainRow struct {
 // on SS-2 at a fixed fault rate.
 func AblateRecoveryGrain(bench string, faultsPerM float64, penalties []int, opt Options) ([]RecoveryGrainRow, error) {
 	opt = opt.defaults()
-	p, ok := workload.ByName(bench)
+	_, ok := workload.ByName(bench)
 	if !ok {
 		return nil, fmt.Errorf("ablate-recovery: unknown benchmark %q", bench)
 	}
 	points := make([]simPoint, 0, len(penalties))
 	for _, pen := range penalties {
-		cfg := core.SS2()
+		cfg := ftsim.ModelSS2.Config()
 		// Seed is set per trial by the campaign grid (runGridGrouped).
-		cfg.Fault = fault.Config{Rate: faultsPerM / 1e6, Targets: fault.AllTargets}
+		cfg.Fault = ftsim.FaultConfig{Rate: faultsPerM / 1e6, Targets: ftsim.AllFaultTargets()}
 		cfg.RecoveryPenalty = pen
-		points = append(points, simPoint{fmt.Sprintf("recovery/%s/pen%d", bench, pen), p, cfg})
+		points = append(points, simPoint{fmt.Sprintf("recovery/%s/pen%d", bench, pen), bench, cfg})
 	}
 	// Every penalty arm shares one seed group: the sweep varies only the
 	// recovery cost, so all arms must see the identical fault stream.
