@@ -7,6 +7,23 @@
 // results, so one file can carry a comparison:
 //
 //	go test -run='^$' -bench=Campaign -benchmem . | benchparse -label after -out BENCH_PR2.json
+//
+// With -gate it additionally acts as a regression gate: the freshly
+// parsed results are compared against a recorded baseline file and the
+// command exits non-zero when any benchmark regressed beyond the
+// thresholds —
+//
+//	... | benchparse -label ci -out bench-ci.json \
+//	        -gate BENCH_PR6.json -gate-label after \
+//	        -alloc-threshold 0.10 -speed-threshold 0.10
+//
+// Allocations per op are gated upward (more is a regression) and
+// throughput metrics — those whose unit ends in "/s" — downward (less
+// is a regression). Benchmarks present on only one side are reported
+// but do not fail the gate, so adding or retiring a benchmark does not
+// require a lock-step baseline update. Time per op is deliberately not
+// gated: it is the reciprocal of the throughput metrics but noisier to
+// compare across hosts.
 package main
 
 import (
@@ -15,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -44,6 +62,10 @@ func main() {
 	label := flag.String("label", "after", "label for this result set (e.g. before, after)")
 	out := flag.String("out", "BENCH_PR2.json", "output JSON file (merged if it exists)")
 	note := flag.String("note", "", "optional note stored in the file header")
+	gateFile := flag.String("gate", "", "baseline JSON file to gate against (empty = no gate)")
+	gateLabel := flag.String("gate-label", "after", "label inside the baseline file to compare with")
+	allocThreshold := flag.Float64("alloc-threshold", 0.10, "max fractional allocs/op increase before the gate fails")
+	speedThreshold := flag.Float64("speed-threshold", 0.10, "max fractional throughput (*/s metric) decrease before the gate fails")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -106,6 +128,88 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchparse: wrote %d results under label %q to %s\n", len(results), *label, *out)
+
+	if *gateFile != "" {
+		base := &File{}
+		data, err := os.ReadFile(*gateFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchparse: gate baseline: %v\n", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(data, base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchparse: gate baseline %s: %v\n", *gateFile, err)
+			os.Exit(1)
+		}
+		baseline, ok := base.Labels[*gateLabel]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchparse: gate baseline %s has no label %q\n", *gateFile, *gateLabel)
+			os.Exit(1)
+		}
+		regressions, skipped, compared := gate(results, baseline, *allocThreshold, *speedThreshold)
+		for _, s := range skipped {
+			fmt.Printf("benchparse: gate: skipping %s (not in baseline)\n", s)
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "benchparse: REGRESSION: %s\n", r)
+			}
+			fmt.Fprintf(os.Stderr, "benchparse: gate FAILED against %s label %q (%d regressions)\n",
+				*gateFile, *gateLabel, len(regressions))
+			os.Exit(1)
+		}
+		fmt.Printf("benchparse: gate passed against %s label %q (%d comparisons)\n",
+			*gateFile, *gateLabel, compared)
+	}
+}
+
+// gate compares the current results against a recorded baseline and
+// returns the regression descriptions, the names skipped for having no
+// baseline entry, and the number of individual comparisons made.
+// Allocations may grow by at most allocT fractionally (plus an absolute
+// slack of 2 allocations, so tiny counts don't flap on rounding);
+// metrics whose unit ends in "/s" may shrink by at most speedT.
+func gate(cur, baseline []Result, allocT, speedT float64) (regressions, skipped []string, compared int) {
+	baseByName := make(map[string]Result, len(baseline))
+	for _, b := range baseline {
+		baseByName[b.Name] = b
+	}
+	for _, c := range cur {
+		b, ok := baseByName[c.Name]
+		if !ok {
+			skipped = append(skipped, c.Name)
+			continue
+		}
+		if b.AllocsOp > 0 || c.AllocsOp > 0 {
+			compared++
+			if limit := b.AllocsOp*(1+allocT) + 2; c.AllocsOp > limit {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: allocs/op %.0f -> %.0f (limit %.0f, +%.0f%%)",
+						c.Name, b.AllocsOp, c.AllocsOp, limit, 100*(c.AllocsOp/b.AllocsOp-1)))
+			}
+		}
+		units := make([]string, 0, len(b.Metrics))
+		for unit := range b.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			bv := b.Metrics[unit]
+			if !strings.HasSuffix(unit, "/s") || bv <= 0 {
+				continue
+			}
+			cv, ok := c.Metrics[unit]
+			if !ok {
+				continue
+			}
+			compared++
+			if floor := bv * (1 - speedT); cv < floor {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s %.4g -> %.4g (floor %.4g, %.0f%%)",
+						c.Name, unit, bv, cv, floor, 100*(cv/bv-1)))
+			}
+		}
+	}
+	return regressions, skipped, compared
 }
 
 // parseLine parses one benchmark result line of the form

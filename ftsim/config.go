@@ -337,8 +337,15 @@ func (c Config) Validate() error {
 	}{{"memory.il1", c.Memory.IL1}, {"memory.dl1", c.Memory.DL1}, {"memory.l2", c.Memory.L2}}
 	for _, lv := range caches {
 		g := lv.c
+		// The way*line product is computed guardedly: naive int
+		// multiplication of two huge (but individually legal-looking)
+		// values can overflow to zero and panic the divisibility check.
+		setBytes := 0
+		if g.Ways >= 1 && g.LineBytes >= 1 && g.Ways <= g.SizeBytes/g.LineBytes {
+			setBytes = g.Ways * g.LineBytes
+		}
 		if g.SizeBytes < 1 || g.Ways < 1 || g.LineBytes < 1 ||
-			g.SizeBytes%(g.Ways*g.LineBytes) != 0 {
+			setBytes < 1 || g.SizeBytes%setBytes != 0 {
 			bad(lv.name, fmt.Sprintf("bad geometry: %d bytes / %d ways / %d-byte lines", g.SizeBytes, g.Ways, g.LineBytes), nil)
 		}
 		if g.HitLatency < 1 {

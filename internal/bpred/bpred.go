@@ -146,7 +146,10 @@ type Predictor struct {
 	l2      []uint8
 	meta    []uint8 // 2-bit: >=2 prefers the two-level component
 
-	btb    [][]btbEntry
+	// btb is the branch target buffer as one flat set-major slab
+	// (BTBSets * BTBWays entries), so building a predictor costs one
+	// allocation for it instead of one per set.
+	btb    []btbEntry
 	btbAge uint64
 
 	ras    []uint64
@@ -159,24 +162,47 @@ type Predictor struct {
 func New(cfg Config) *Predictor {
 	cfg = cfg.withDefaults()
 	p := &Predictor{cfg: cfg}
-	p.bimodal = initCounters(cfg.BimodalSize)
-	p.meta = initCounters(cfg.MetaSize)
+	p.bimodal = make([]uint8, cfg.BimodalSize)
+	p.meta = make([]uint8, cfg.MetaSize)
 	p.l1 = make([]uint64, cfg.L1Size)
-	p.l2 = initCounters(cfg.L2Size)
-	p.btb = make([][]btbEntry, cfg.BTBSets)
-	for i := range p.btb {
-		p.btb[i] = make([]btbEntry, cfg.BTBWays)
-	}
+	p.l2 = make([]uint8, cfg.L2Size)
+	p.btb = make([]btbEntry, cfg.BTBSets*cfg.BTBWays)
 	p.ras = make([]uint64, cfg.RASSize)
+	p.Reset()
 	return p
 }
 
-func initCounters(n int) []uint8 {
-	c := make([]uint8, n)
+// Renew returns a predictor for cfg, reusing p's table storage when the
+// (defaulted) configuration matches; otherwise it builds fresh. Either
+// way the result is indistinguishable from New(cfg).
+func Renew(p *Predictor, cfg Config) *Predictor {
+	cfg = cfg.withDefaults()
+	if p == nil || p.cfg != cfg {
+		return New(cfg)
+	}
+	p.Reset()
+	return p
+}
+
+// Reset restores the just-built predictor state in place: all direction
+// counters weakly not-taken, history registers, BTB, RAS and statistics
+// cleared.
+func (p *Predictor) Reset() {
+	initCounters(p.bimodal)
+	initCounters(p.meta)
+	initCounters(p.l2)
+	clear(p.l1)
+	clear(p.btb)
+	clear(p.ras)
+	p.rasTop = 0
+	p.btbAge = 0
+	p.Stats = Stats{}
+}
+
+func initCounters(c []uint8) {
 	for i := range c {
 		c[i] = 1 // weakly not-taken
 	}
-	return c
 }
 
 // Predict returns the front end's next-PC guess for the control-flow
@@ -318,8 +344,14 @@ func (p *Predictor) twoLevelIdx(pc uint64) int {
 	return int(idx % uint64(p.cfg.L2Size))
 }
 
+// btbSet returns one BTB set's ways as a slice into the slab.
+func (p *Predictor) btbSet(pc uint64) []btbEntry {
+	i := int((pc>>3)%uint64(p.cfg.BTBSets)) * p.cfg.BTBWays
+	return p.btb[i : i+p.cfg.BTBWays]
+}
+
 func (p *Predictor) btbLookup(pc uint64) (uint64, bool) {
-	set := p.btb[(pc>>3)%uint64(p.cfg.BTBSets)]
+	set := p.btbSet(pc)
 	tag := pc >> 3
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
@@ -332,7 +364,7 @@ func (p *Predictor) btbLookup(pc uint64) (uint64, bool) {
 }
 
 func (p *Predictor) btbUpdate(pc uint64, target uint64) {
-	set := p.btb[(pc>>3)%uint64(p.cfg.BTBSets)]
+	set := p.btbSet(pc)
 	tag := pc >> 3
 	victim := 0
 	for i := range set {

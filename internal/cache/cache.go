@@ -53,9 +53,15 @@ type line struct {
 
 // Cache is one level of the hierarchy. The zero value is unusable; use
 // NewCache.
+//
+// Line state lives in one flat set-major slab rather than a slice per
+// set: a Table 1 hierarchy has thousands of sets, and per-set slices
+// cost one allocation each per machine build — the second-largest
+// allocation source in the campaign hot path before the slab.
 type Cache struct {
 	cfg   Config
-	sets  [][]line
+	lines []line // nsets * Ways, set-major
+	nsets int
 	age   uint64
 	next  *Cache // nil means the next level is memory
 	memLa int    // memory latency when next == nil
@@ -69,11 +75,14 @@ func NewCache(cfg Config, next *Cache, memLatency int) *Cache {
 	if cfg.Sets() <= 0 {
 		panic(fmt.Sprintf("cache %s: bad geometry %+v", cfg.Name, cfg))
 	}
-	sets := make([][]line, cfg.Sets())
-	for i := range sets {
-		sets[i] = make([]line, cfg.Ways)
-	}
-	return &Cache{cfg: cfg, sets: sets, next: next, memLa: memLatency}
+	nsets := cfg.Sets()
+	return &Cache{cfg: cfg, lines: make([]line, nsets*cfg.Ways), nsets: nsets, next: next, memLa: memLatency}
+}
+
+// set returns the ways of one set as a slice into the slab.
+func (c *Cache) set(setIdx uint64) []line {
+	i := int(setIdx) * c.cfg.Ways
+	return c.lines[i : i+c.cfg.Ways]
 }
 
 // Config returns the cache's configuration.
@@ -85,9 +94,9 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Access(addr uint64, write bool) int {
 	c.Stats.Accesses++
 	lineAddr := addr / uint64(c.cfg.LineBytes)
-	setIdx := lineAddr % uint64(len(c.sets))
-	tag := lineAddr / uint64(len(c.sets))
-	set := c.sets[setIdx]
+	setIdx := lineAddr % uint64(c.nsets)
+	tag := lineAddr / uint64(c.nsets)
+	set := c.set(setIdx)
 	c.age++
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
@@ -120,7 +129,7 @@ func (c *Cache) Access(addr uint64, write bool) int {
 			// The writeback goes through a write buffer; model its
 			// effect on lower-level state but not on this access's
 			// latency.
-			victimAddr := (set[victim].tag*uint64(len(c.sets)) + setIdx) * uint64(c.cfg.LineBytes)
+			victimAddr := (set[victim].tag*uint64(c.nsets) + setIdx) * uint64(c.cfg.LineBytes)
 			c.next.Access(victimAddr, true)
 		}
 	}
@@ -130,11 +139,16 @@ func (c *Cache) Access(addr uint64, write bool) int {
 
 // Flush invalidates all lines (used between experiment repetitions).
 func (c *Cache) Flush() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = line{}
-		}
-	}
+	clear(c.lines)
+}
+
+// Reset restores the cache to its just-built state in place: all lines
+// invalid, LRU clock and statistics zeroed. A reset cache is
+// indistinguishable from a fresh NewCache with the same geometry.
+func (c *Cache) Reset() {
+	clear(c.lines)
+	c.age = 0
+	c.Stats = Stats{}
 }
 
 // HierarchyConfig describes the full Table 1 memory hierarchy.
@@ -166,6 +180,22 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		DL1: NewCache(cfg.DL1, l2, 0),
 		L2:  l2,
 	}
+}
+
+// Renew returns a hierarchy for cfg, reusing h's line slabs when every
+// level's geometry matches (the common case when machines are pooled
+// across trials of one experiment grid); otherwise it builds fresh. A
+// reused hierarchy is fully reset and behaves identically to a new one.
+func Renew(h *Hierarchy, cfg HierarchyConfig) *Hierarchy {
+	if h == nil ||
+		h.IL1.cfg != cfg.IL1 || h.DL1.cfg != cfg.DL1 || h.L2.cfg != cfg.L2 ||
+		h.L2.memLa != cfg.MemLatency {
+		return NewHierarchy(cfg)
+	}
+	h.IL1.Reset()
+	h.DL1.Reset()
+	h.L2.Reset()
+	return h
 }
 
 // IFetch returns the latency of an instruction fetch at addr.

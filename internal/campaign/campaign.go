@@ -43,6 +43,47 @@ type Trial struct {
 	// must seed their injectors from it so the campaign stays
 	// deterministic under any worker count.
 	Run func(ctx context.Context, seed int64) (any, error)
+	// RunW, when non-nil, is used instead of Run and additionally
+	// receives the executing worker's Workspace, where a trial can keep
+	// reusable state (pooled simulator machines, scratch buffers) that
+	// survives across all the trials that worker executes. Because
+	// results must not depend on which worker ran a trial, anything a
+	// trial stores in the workspace must be behaviourally identical to
+	// a fresh instance — caches of immutable data and poolable machines
+	// qualify; accumulated statistics do not.
+	RunW func(ctx context.Context, ws *Workspace, seed int64) (any, error)
+}
+
+// run dispatches to RunW when set, else Run.
+func (t Trial) run(ctx context.Context, ws *Workspace, seed int64) (any, error) {
+	if t.RunW != nil {
+		return t.RunW(ctx, ws, seed)
+	}
+	return t.Run(ctx, seed)
+}
+
+// Workspace is per-worker storage handed to Trial.RunW. One worker
+// goroutine owns one workspace for the lifetime of a campaign, so no
+// locking is needed; nothing stored in it is shared between workers.
+// The zero value is ready to use.
+type Workspace struct {
+	vals map[any]any
+}
+
+// Value returns the value stored under key, or nil.
+func (w *Workspace) Value(key any) any {
+	if w.vals == nil {
+		return nil
+	}
+	return w.vals[key]
+}
+
+// Set stores val under key, replacing any previous value.
+func (w *Workspace) Set(key, val any) {
+	if w.vals == nil {
+		w.vals = make(map[any]any)
+	}
+	w.vals[key] = val
 }
 
 // Spec is a campaign: a named grid of trials and the master seed all
@@ -160,8 +201,31 @@ func TrialSeed(campaignSeed int64, index int) int64 {
 type Runner struct {
 	// Workers is the pool size; <= 0 means GOMAXPROCS.
 	Workers int
+	// Batch is the number of consecutive trials handed to a worker per
+	// dispatch; <= 0 picks an automatic size (1 for small grids, larger
+	// for big ones, so channel traffic amortises over cheap trials
+	// without hurting load balance). Batching never affects results —
+	// per-trial seeds derive from trial indices, not from scheduling —
+	// only dispatch granularity. Cancellation still reaches every trial
+	// of an in-flight batch through the campaign context.
+	Batch int
 	// Progress, when non-nil, is invoked (serialised) after every trial.
 	Progress Progress
+}
+
+// batch resolves the dispatch batch size for n trials over w workers.
+func (r Runner) batch(n, w int) int {
+	if r.Batch > 0 {
+		return r.Batch
+	}
+	b := n / (w * 8)
+	if b < 1 {
+		b = 1
+	}
+	if b > 32 {
+		b = 32
+	}
+	return b
 }
 
 func (r Runner) workers(trials int) int {
@@ -193,7 +257,8 @@ func (r Runner) Run(ctx context.Context, spec Spec) (*Report, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	jobs := make(chan int)
+	batch := r.batch(n, rep.Workers)
+	jobs := make(chan [2]int) // [start, end) trial-index ranges
 	var wg sync.WaitGroup
 	var mu sync.Mutex // guards done, rep.TrialSeconds and Progress calls
 	done := 0
@@ -202,33 +267,43 @@ func (r Runner) Run(ctx context.Context, spec Spec) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for idx := range jobs {
-				t := spec.Trials[idx]
-				res := Result{Index: idx, Label: t.Label, Seed: spec.trialSeed(idx)}
-				t0 := time.Now()
-				res.Value, res.Err = t.Run(ctx, res.Seed)
-				res.Elapsed = time.Since(t0)
-				rep.Results[idx] = res
-				if res.Err != nil {
-					cancel()
+			// The workspace lives as long as the worker: trials using
+			// RunW reuse pooled machines and scratch state across every
+			// trial this worker executes.
+			ws := &Workspace{}
+			for rng := range jobs {
+				for idx := rng[0]; idx < rng[1]; idx++ {
+					t := spec.Trials[idx]
+					res := Result{Index: idx, Label: t.Label, Seed: spec.trialSeed(idx)}
+					t0 := time.Now()
+					res.Value, res.Err = t.run(ctx, ws, res.Seed)
+					res.Elapsed = time.Since(t0)
+					rep.Results[idx] = res
+					if res.Err != nil {
+						cancel()
+					}
+					mu.Lock()
+					done++
+					rep.TrialSeconds.Add(res.Elapsed.Seconds())
+					if r.Progress != nil {
+						r.Progress(done, n, res)
+					}
+					mu.Unlock()
 				}
-				mu.Lock()
-				done++
-				rep.TrialSeconds.Add(res.Elapsed.Seconds())
-				if r.Progress != nil {
-					r.Progress(done, n, res)
-				}
-				mu.Unlock()
 			}
 		}()
 	}
 
 	dispatched := 0
 dispatch:
-	for i := 0; i < n; i++ {
+	for i := 0; i < n; i += batch {
+		end := i + batch
+		if end > n {
+			end = n
+		}
 		select {
-		case jobs <- i:
-			dispatched++
+		case jobs <- [2]int{i, end}:
+			dispatched += end - i
 		case <-ctx.Done():
 			break dispatch
 		}

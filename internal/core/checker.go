@@ -62,6 +62,11 @@ func (RewindChecker) Check(group []*cpu.Entry) cpu.Verdict {
 type MajorityChecker struct {
 	R         int
 	Threshold int
+
+	// sigs is per-call scratch, reused across Check calls so the commit
+	// hot loop stays allocation-free. A checker belongs to exactly one
+	// machine and Check runs on the machine's goroutine, so no locking.
+	sigs []signature
 }
 
 // Check elects a majority among the copies' signatures.
@@ -69,7 +74,10 @@ func (c *MajorityChecker) Check(group []*cpu.Entry) cpu.Verdict {
 	// Fast path: unanimous agreement.
 	unanimous := true
 	ref := signatureOf(group[0])
-	sigs := make([]signature, len(group))
+	if cap(c.sigs) < len(group) {
+		c.sigs = make([]signature, len(group))
+	}
+	sigs := c.sigs[:len(group)]
 	sigs[0] = ref
 	for i, e := range group[1:] {
 		sigs[i+1] = signatureOf(e)

@@ -104,8 +104,10 @@ func Static2() Config {
 	return Config{CPU: cpu.Halved(), R: 1}
 }
 
-// Build assembles a runnable machine for program p.
-func (c Config) Build(p *prog.Program) (*cpu.Machine, error) {
+// assemble lowers the core configuration into the cpu layer's, reusing
+// prev as the fault injector's RNG storage when non-nil (see
+// fault.Renew; the reseeded stream is identical to a fresh one).
+func (c Config) assemble(prev *fault.Injector) cpu.Config {
 	cfg := c.CPU
 	cfg.R = c.R
 	if c.R > 1 && cfg.RUUSize%c.R != 0 {
@@ -127,7 +129,7 @@ func (c Config) Build(p *prog.Program) (*cpu.Machine, error) {
 			cfg.Checker = &RewindChecker{}
 		}
 	}
-	cfg.Injector = fault.New(c.Fault)
+	cfg.Injector = fault.Renew(prev, c.Fault)
 	cfg.Persistent = c.Persistent
 	cfg.TransformOperands = c.TransformOperands
 	cfg.RecoveryPenalty = c.RecoveryPenalty
@@ -135,7 +137,29 @@ func (c Config) Build(p *prog.Program) (*cpu.Machine, error) {
 	cfg.StrictOracle = c.StrictOracle
 	cfg.MaxInsts = c.MaxInsts
 	cfg.MaxCycles = c.MaxCycles
-	return cpu.New(cfg, p)
+	return cfg
+}
+
+// Build assembles a runnable machine for program p.
+func (c Config) Build(p *prog.Program) (*cpu.Machine, error) {
+	return cpu.New(c.assemble(nil), p)
+}
+
+// Rebuild resets a previously built machine in place for a new run of
+// program p under this configuration, reusing its allocated state
+// (entry slabs, cache lines, predictor tables, memory pages, injector
+// RNG) where the geometry allows. A nil m builds fresh, so Rebuild is a
+// drop-in Build for machine pools. The reset machine's behaviour is
+// bit-identical to a fresh Build's — the pooled-vs-fresh equivalence
+// tests are the referee.
+func (c Config) Rebuild(m *cpu.Machine, p *prog.Program) (*cpu.Machine, error) {
+	if m == nil {
+		return c.Build(p)
+	}
+	if err := m.Reset(c.assemble(m.Injector()), p); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // Run builds and runs the machine to completion (program halt or run

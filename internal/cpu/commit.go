@@ -16,7 +16,12 @@ import (
 // triggers rewind-based recovery; an "R = 1" machine commits unchecked.
 func (m *Machine) commit() error {
 	budget := m.cfg.CommitWidth
-	group := make([]*Entry, 0, m.cfg.R)
+	// The group scratch is a machine field: a local make() here escapes
+	// (the Checker interface call keeps it from being stack-allocated)
+	// and was, at one allocation per simulated cycle, by far the largest
+	// allocation source in the whole simulator. Its capacity is >= R, so
+	// the appends below never grow it.
+	group := m.commitGroup[:0]
 	for budget >= m.cfg.R && !m.ruu.empty() {
 		group = group[:0]
 		headIdx := m.ruu.head

@@ -102,6 +102,16 @@ func newRUU(size int) *ruu {
 	return &ruu{entries: make([]Entry, capacity), mask: capacity - 1, limit: size}
 }
 
+// reset empties the ring in place, zeroing every slot (a cancelled or
+// budget-stopped run leaves live entries behind) and re-arming it under
+// a possibly different architectural limit. Storage must already fit:
+// callers reallocate when nextPow2 of the new size differs.
+func (r *ruu) reset(size int) {
+	clear(r.entries)
+	r.limit = size
+	r.head, r.tail, r.count = 0, 0, 0
+}
+
 func (r *ruu) size() int   { return len(r.entries) }
 func (r *ruu) free() int   { return r.limit - r.count }
 func (r *ruu) empty() bool { return r.count == 0 }

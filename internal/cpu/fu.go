@@ -71,3 +71,22 @@ func newFUSet(cfg *Config) *fuSet {
 
 // get returns the pool for p, or nil for PoolNone.
 func (s *fuSet) get(p isa.Pool) *fuPool { return s.pools[p] }
+
+// matches reports whether the set's unit counts equal cfg's, in which
+// case reset can reuse it instead of rebuilding.
+func (s *fuSet) matches(cfg *Config) bool {
+	return s.pools[isa.PoolIntALU].units() == cfg.IntALU &&
+		s.pools[isa.PoolIntMult].units() == cfg.IntMult &&
+		s.pools[isa.PoolFPAdd].units() == cfg.FPAdd &&
+		s.pools[isa.PoolFPMult].units() == cfg.FPMult &&
+		s.pools[isa.PoolMemPort].units() == cfg.MemPorts
+}
+
+// reset frees every unit (as-new: nothing busy before cycle 0).
+func (s *fuSet) reset() {
+	for _, p := range s.pools {
+		if p != nil {
+			clear(p.busyUntil)
+		}
+	}
+}

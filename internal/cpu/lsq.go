@@ -45,6 +45,14 @@ func newLSQ(size int) *lsq {
 	return &lsq{entries: make([]lsqEntry, capacity), mask: capacity - 1, limit: size}
 }
 
+// reset empties the queue in place under a possibly different
+// architectural limit; storage must already fit.
+func (q *lsq) reset(size int) {
+	clear(q.entries)
+	q.limit = size
+	q.head, q.tail, q.count = 0, 0, 0
+}
+
 func (q *lsq) free() int { return q.limit - q.count }
 
 func (q *lsq) alloc() int {

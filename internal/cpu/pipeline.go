@@ -87,44 +87,33 @@ type Machine struct {
 
 	lastCommitCycle uint64
 
+	// commitGroup is the commit stage's per-cycle scratch for the R
+	// entries of the retiring group (see commit); capacity >= cfg.R.
+	commitGroup []*Entry
+
 	stats Stats
 }
 
 // New builds a machine for the given program. The program image is loaded
 // into a fresh memory; the oracle, if enabled, gets an identical clone.
+// New is Reset applied to an empty machine, which is what makes a
+// recycled machine provably identical to a fresh one: both states are
+// produced by the same code path.
 func New(cfg Config, p *prog.Program) (*Machine, error) {
-	if err := cfg.Validate(); err != nil {
+	m := &Machine{}
+	if err := m.Reset(cfg, p); err != nil {
 		return nil, err
-	}
-	m := &Machine{
-		cfg:    cfg,
-		mem:    mem.New(),
-		ruu:    newRUU(cfg.RUUSize),
-		lsq:    newLSQ(cfg.LSQSize),
-		fus:    newFUSet(&cfg),
-		bp:     bpred.New(cfg.Bpred),
-		caches: cache.NewHierarchy(cfg.Hierarchy),
-	}
-	m.injector = cfg.Injector
-	m.eventSched = true
-	m.issueFn = m.issueEvent
-	m.writebackFn = m.writebackEvent
-	m.waitlists = make([][]waiter, m.ruu.size())
-	m.dec = new(decCache)
-	entry := p.LoadInto(m.mem)
-	m.regs[isa.RegSP] = prog.StackTop
-	m.nextPC.Set(entry)
-	m.fetchPC = entry
-	m.fetchQ = newFetchRing(cfg.FetchQueue)
-	if cfg.Oracle {
-		m.oracle = funcsim.NewWithMemory(m.mem.Clone(), entry)
-		m.oracleLive = true
 	}
 	return m, nil
 }
 
 // Stats returns the statistics gathered so far.
 func (m *Machine) Stats() *Stats { return &m.stats }
+
+// Injector returns the machine's fault injector (nil when injection is
+// disabled). Machine recyclers use it to reseed the existing RNG state
+// instead of allocating a new injector per trial.
+func (m *Machine) Injector() *fault.Injector { return m.injector }
 
 // emit records a pipeline event for one entry when tracing is enabled.
 func (m *Machine) emit(stage trace.Stage, e *Entry) {

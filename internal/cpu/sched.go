@@ -85,6 +85,19 @@ func (q *readyQueue) sortIn() {
 
 func (q *readyQueue) reset() { q.list, q.in = q.list[:0], q.in[:0] }
 
+// init empties the queue and pre-sizes both sides to hold n records, so
+// steady-state pushes never grow the backing arrays. Reused queues keep
+// whatever capacity they have already grown to.
+func (q *readyQueue) init(n int) {
+	if cap(q.list) < n {
+		q.list = make([]readyRec, 0, n)
+	}
+	if cap(q.in) < n {
+		q.in = make([]readyRec, 0, n)
+	}
+	q.reset()
+}
+
 // waiter records one operand of one consumer waiting on a producer.
 type waiter struct {
 	idx int32  // consumer ring index
@@ -199,6 +212,30 @@ func (c *calendar) reset() {
 	c.far = c.far[:0]
 }
 
+// calBucketCap pre-sizes each wheel bucket. A bucket holds at most one
+// cycle's completions, which the issue stage bounds by IssueWidth
+// (Table 1: 8), so 8 covers the steady state; a wider machine merely
+// grows the odd bucket once and keeps it.
+const calBucketCap = 8
+
+// init makes the calendar empty and fully pre-sized: the first call
+// carves all wheel buckets out of one slab (one allocation instead of
+// 256) and pre-sizes the far heap and drain scratch; later calls just
+// empty the structures, keeping any capacity they have grown.
+func (c *calendar) init() {
+	if c.wheel[0] == nil {
+		slab := make([]calRec, wheelSize*calBucketCap)
+		for i := range c.wheel {
+			c.wheel[i] = slab[i*calBucketCap : i*calBucketCap : (i+1)*calBucketCap]
+		}
+		c.far = make([]farRec, 0, 64)
+		c.due = make([]calRec, 0, 64)
+		return
+	}
+	c.reset()
+	c.due = c.due[:0]
+}
+
 // ---------------------------------------------------------------------
 // Decoded-instruction cache: fetch used to re-read and re-decode the
 // instruction word from memory for every fetched slot; a direct-mapped
@@ -222,6 +259,11 @@ type decCache struct {
 }
 
 func (d *decCache) slot(pc uint64) int { return int((pc >> 3) & decMask) }
+
+// reset invalidates every slot. Only the tags need clearing — stale
+// inst/oi entries are unreachable once their tag is zero — so a machine
+// reset costs one 32 KB memclr here, not a rebuild.
+func (d *decCache) reset() { clear(d.tags[:]) }
 
 // drop invalidates the slot covering the aligned address a, if cached.
 func (d *decCache) drop(a uint64) {
@@ -312,6 +354,18 @@ func (f *fetchRing) reset() {
 	for f.count > 0 {
 		f.pop()
 	}
+}
+
+// renew returns a ring of the given depth, reusing f's buffer when the
+// storage size matches; the result is as-new (empty, head at zero).
+func (f *fetchRing) renew(depth int) *fetchRing {
+	if f == nil || nextPow2(depth) != len(f.buf) {
+		return newFetchRing(depth)
+	}
+	clear(f.buf)
+	f.limit = depth
+	f.head, f.count = 0, 0
+	return f
 }
 
 // ---------------------------------------------------------------------

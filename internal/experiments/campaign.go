@@ -47,18 +47,36 @@ func runGrid(name string, points []simPoint, opt Options) ([]*ftsim.Stats, error
 // controlled comparisons (R=2 vs R=3 at one fault rate, a penalty sweep
 // at one rate) measure the design's difference, not the RNG's. nil
 // means every point is its own group.
+//
+// Trials run on pooled machines: each worker keeps a machine pool (and
+// the grid's programs are built once, up front, instead of once per
+// trial), so per-trial cost is dominated by simulation, not
+// construction. Pooling is results-invisible — a recycled machine is
+// reset to a state bit-identical to a fresh build.
 func runGridGrouped(name string, points []simPoint, group func(int) int, opt Options) ([]*ftsim.Stats, error) {
+	progs := make(map[string]*ftsim.Program, len(points))
+	for i := range points {
+		b := points[i].bench
+		if _, ok := progs[b]; ok {
+			continue
+		}
+		program, err := ftsim.Benchmark(b)
+		if err != nil {
+			return nil, err
+		}
+		progs[b] = program
+	}
 	trials := make([]campaign.Trial, len(points))
 	for i := range points {
 		pt := points[i]
 		trials[i] = campaign.Trial{
 			Label: pt.label,
-			Run: func(ctx context.Context, seed int64) (any, error) {
+			RunW: func(ctx context.Context, ws *campaign.Workspace, seed int64) (any, error) {
 				cfg := pt.cfg
 				if cfg.Fault.Enabled() {
 					cfg.Fault.Seed = seed
 				}
-				return runBench(ctx, pt.bench, cfg, opt)
+				return runBenchPooled(ctx, ws, progs[pt.bench], cfg, opt)
 			},
 		}
 	}
@@ -67,4 +85,29 @@ func runGridGrouped(name string, points []simPoint, group func(int) int, opt Opt
 		return nil, err
 	}
 	return campaign.Collect[*ftsim.Stats](rep)
+}
+
+// poolKey indexes the per-worker machine pool in a campaign Workspace.
+type poolKey struct{}
+
+// wsPool returns the worker's machine pool, creating it on first use.
+func wsPool(ws *campaign.Workspace) *ftsim.MachinePool {
+	if v := ws.Value(poolKey{}); v != nil {
+		return v.(*ftsim.MachinePool)
+	}
+	p := new(ftsim.MachinePool)
+	ws.Set(poolKey{}, p)
+	return p
+}
+
+// runBenchPooled is runBench for a pre-built program on a pooled
+// machine.
+func runBenchPooled(ctx context.Context, ws *campaign.Workspace, program *ftsim.Program, cfg ftsim.Config, opt Options) (*ftsim.Stats, error) {
+	cfg.MaxInsts = opt.MaxInsts
+	cfg.MaxCycles = opt.MaxInsts * 100 // generous safety net
+	m, err := ftsim.NewFromConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.RunPooled(ctx, wsPool(ws), program)
 }

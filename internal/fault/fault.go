@@ -106,6 +106,32 @@ func New(cfg Config) *Injector {
 	}
 }
 
+// Renew returns an injector for cfg, reusing old's RNG storage when
+// possible; like New it returns nil when injection is disabled.
+// Reseeding a rand.Rand reproduces exactly the stream a fresh
+// rand.New(rand.NewSource(seed)) would draw, so a recycled injector's
+// fault schedule is bit-identical to a fresh injector's — the property
+// the pooled-machine equivalence tests assert. The alternative, a new
+// injector per trial, costs a ~5 KB generator state allocation each
+// time.
+func Renew(old *Injector, cfg Config) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	if old == nil {
+		return New(cfg)
+	}
+	targets := cfg.Targets
+	if len(targets) == 0 {
+		targets = []Target{TargetResult}
+	}
+	old.cfg = cfg
+	old.rng.Seed(cfg.Seed)
+	old.targets = targets
+	old.Stats = Stats{}
+	return old
+}
+
 // Roll decides whether the current instruction copy suffers an upset and,
 // if so, at which target. The injector is nil-safe: a nil injector never
 // injects.

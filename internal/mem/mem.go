@@ -51,7 +51,20 @@ func (m *Memory) Clone() *Memory {
 }
 
 // Pages returns the number of allocated pages (for tests and stats).
+// Pages retained by Reset count even though they hold only zeroes.
 func (m *Memory) Pages() int { return len(m.pages) }
+
+// Reset zeroes the memory in place, keeping the allocated pages for
+// reuse. A zeroed retained page is indistinguishable from an absent
+// one — reads of untouched memory return zero either way — so a reset
+// memory behaves exactly like a fresh New, without re-paying the page
+// allocations when a pooled machine reloads a program of similar
+// footprint.
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		*p = page{}
+	}
+}
 
 func (m *Memory) page(addr uint64, allocate bool) *page {
 	idx := addr >> PageShift

@@ -1,0 +1,9 @@
+// Package testenv exposes build-time facts about the test environment.
+package testenv
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Allocation-budget assertions skip under -race: the
+// detector's instrumentation allocates on its own schedule, so
+// testing.AllocsPerRun measurements are neither meaningful nor stable
+// there.
+const RaceEnabled = raceEnabled
