@@ -35,8 +35,18 @@ func main() {
 	parallel := flag.Int("parallel", 0, "campaign worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	seed := flag.Int64("seed", 1, "campaign master seed; per-trial fault seeds derive from it (0 is reserved and maps to 1)")
 	quiet := flag.Bool("quiet", false, "suppress per-trial progress on stderr")
+	checkpoint := flag.String("checkpoint", "", "directory for per-experiment checkpoint journals; completed trials survive a killed run")
+	resume := flag.Bool("resume", false, "resume existing checkpoint journals, re-running only unfinished trials")
+	trialTimeout := flag.Duration("trial-timeout", 0, "per-trial deadline (0 = none); timed-out trials fail without aborting the grid when -contain is set")
+	retries := flag.Int("retries", 0, "retry attempts for transient/timed-out trials")
+	contain := flag.Bool("contain", false, "keep a campaign running past trial failures; failed trials are listed in an error manifest")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "ftexp: -resume requires -checkpoint")
+		os.Exit(2)
+	}
 
 	if *version {
 		buildinfo.Print(os.Stdout, "ftexp")
@@ -51,11 +61,16 @@ func main() {
 	// table output.
 	var lastReport *campaign.Report
 	opt := experiments.Options{
-		MaxInsts:  *insts,
-		FaultSeed: *seed,
-		Parallel:  *parallel,
-		Context:   ctx,
-		Report:    func(rep *campaign.Report) { lastReport = rep },
+		MaxInsts:      *insts,
+		FaultSeed:     *seed,
+		Parallel:      *parallel,
+		Context:       ctx,
+		Report:        func(rep *campaign.Report) { lastReport = rep },
+		CheckpointDir: *checkpoint,
+		Resume:        *resume,
+		TrialTimeout:  *trialTimeout,
+		Retries:       *retries,
+		Contain:       *contain,
 	}
 	if !*quiet {
 		opt.Progress = func(done, total int, r campaign.Result) {
@@ -66,57 +81,80 @@ func main() {
 	w := os.Stdout
 	run := func(name string) error {
 		lastReport = nil
-		switch name {
-		case "table1":
-			experiments.PrintTable1(w)
-		case "table2":
-			rows, err := experiments.Table2(opt)
-			if err != nil {
-				return err
+		err := func() error {
+			switch name {
+			case "table1":
+				experiments.PrintTable1(w)
+			case "table2":
+				rows, err := experiments.Table2(opt)
+				if err != nil {
+					return err
+				}
+				experiments.PrintTable2(w, rows)
+			case "fig3":
+				experiments.PrintCurves(w, "Figure 3: analytic IPC vs fault frequency (rewind = 20 cycles)", experiments.Fig3())
+			case "fig4":
+				experiments.PrintCurves(w, "Figure 4: analytic IPC vs fault frequency (rewind = 2000 cycles)", experiments.Fig4())
+			case "fig5":
+				rows, err := experiments.Fig5(opt)
+				if err != nil {
+					return err
+				}
+				experiments.PrintFig5(w, rows)
+			case "fig6":
+				rows, err := experiments.Fig6(*bench, opt)
+				if err != nil {
+					return err
+				}
+				experiments.PrintFig6(w, *bench, rows)
+			case "sensitivity":
+				rows, err := experiments.Sensitivity(opt)
+				if err != nil {
+					return err
+				}
+				experiments.PrintSensitivity(w, rows)
+			case "ablate-cosched":
+				rows, err := experiments.AblateCoSchedule([]string{"gcc", "fpppp", "swim"}, opt)
+				if err != nil {
+					return err
+				}
+				experiments.PrintCoSchedule(w, rows)
+			case "ablate-recovery":
+				rows, err := experiments.AblateRecoveryGrain(*bench, 1000, []int{0, 200, 2000}, opt)
+				if err != nil {
+					return err
+				}
+				experiments.PrintRecoveryGrain(w, *bench, 1000, rows)
+			case "ablate-commit":
+				rows, err := experiments.AblateCommitWidth(*bench, []int{4, 8, 16, 32}, opt)
+				if err != nil {
+					return err
+				}
+				experiments.PrintCommitWidth(w, *bench, rows)
+			default:
+				return fmt.Errorf("unknown experiment %q", name)
 			}
-			experiments.PrintTable2(w, rows)
-		case "fig3":
-			experiments.PrintCurves(w, "Figure 3: analytic IPC vs fault frequency (rewind = 20 cycles)", experiments.Fig3())
-		case "fig4":
-			experiments.PrintCurves(w, "Figure 4: analytic IPC vs fault frequency (rewind = 2000 cycles)", experiments.Fig4())
-		case "fig5":
-			rows, err := experiments.Fig5(opt)
-			if err != nil {
-				return err
+			return nil
+		}()
+		// The error manifest and resume summary come from the campaign
+		// report, which arrives via opt.Report even when the experiment
+		// itself returns an error (contained trial failures make the
+		// result table unrenderable, but the completed trials are safe in
+		// the checkpoint journal).
+		if lastReport != nil {
+			if !*quiet && lastReport.Resumed > 0 {
+				fmt.Fprintf(os.Stderr, "%s: resumed %d completed trial(s) from checkpoint\n", name, lastReport.Resumed)
 			}
-			experiments.PrintFig5(w, rows)
-		case "fig6":
-			rows, err := experiments.Fig6(*bench, opt)
-			if err != nil {
-				return err
+			if fails := lastReport.Failures(); len(fails) > 0 {
+				fmt.Fprintf(os.Stderr, "%s: %d trial(s) failed:\n", name, len(fails))
+				for _, f := range fails {
+					fmt.Fprintf(os.Stderr, "  #%-3d %-32s seed %-20d attempts %d: %v\n",
+						f.Index, f.Label, f.Seed, f.Attempts, f.Err)
+				}
 			}
-			experiments.PrintFig6(w, *bench, rows)
-		case "sensitivity":
-			rows, err := experiments.Sensitivity(opt)
-			if err != nil {
-				return err
-			}
-			experiments.PrintSensitivity(w, rows)
-		case "ablate-cosched":
-			rows, err := experiments.AblateCoSchedule([]string{"gcc", "fpppp", "swim"}, opt)
-			if err != nil {
-				return err
-			}
-			experiments.PrintCoSchedule(w, rows)
-		case "ablate-recovery":
-			rows, err := experiments.AblateRecoveryGrain(*bench, 1000, []int{0, 200, 2000}, opt)
-			if err != nil {
-				return err
-			}
-			experiments.PrintRecoveryGrain(w, *bench, 1000, rows)
-		case "ablate-commit":
-			rows, err := experiments.AblateCommitWidth(*bench, []int{4, 8, 16, 32}, opt)
-			if err != nil {
-				return err
-			}
-			experiments.PrintCommitWidth(w, *bench, rows)
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
+		}
+		if err != nil {
+			return err
 		}
 		if !*quiet && lastReport != nil && lastReport.TrialSeconds.N() > 0 {
 			rep := lastReport

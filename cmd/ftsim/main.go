@@ -17,6 +17,14 @@
 //	ftsim -asm prog.s -model ss1
 //	ftsim -bench swim -model ss2 -dump-config > ss2.json
 //	ftsim -bench swim -config ss2.json -progress 100000
+//
+// A long run can be made durable with snapshots: -snapshot-save writes
+// the complete machine state when the run stops (including on Ctrl-C),
+// and -snapshot-load resumes it — under the same machine flags, with a
+// possibly larger -insts/-cycles budget:
+//
+//	ftsim -bench gcc -model ss2 -insts 5000000 -snapshot-save run.ftsn
+//	ftsim -model ss2 -insts 10000000 -snapshot-load run.ftsn
 package main
 
 import (
@@ -59,6 +67,8 @@ func run() error {
 	showOutput := flag.Bool("output", false, "print values written by the out instruction")
 	traceN := flag.Int("trace", 0, "print a pipeline timeline of the last N instruction copies")
 	progressEvery := flag.Uint64("progress", 0, "stream IPC/fault progress to stderr every N cycles")
+	snapSave := flag.String("snapshot-save", "", "write a resumable machine snapshot to this file when the run stops (including on Ctrl-C)")
+	snapLoad := flag.String("snapshot-load", "", "resume a snapshotted run from this file instead of loading a program")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -72,12 +82,17 @@ func run() error {
 	switch {
 	case *bench != "" && *asmFile != "":
 		return fmt.Errorf("-bench and -asm are mutually exclusive")
+	case *snapLoad != "" && (*bench != "" || *asmFile != ""):
+		return fmt.Errorf("-snapshot-load resumes the snapshotted workload; drop -bench/-asm")
 	case *bench != "":
 		program, err = ftsim.Benchmark(*bench)
 	case *asmFile != "":
 		program, err = ftsim.AssembleFile(*asmFile)
+	case *snapLoad != "":
+		// Resuming: the workload image (memory, PC, program text) lives
+		// in the snapshot; the flags only describe the machine.
 	default:
-		return fmt.Errorf("one of -bench or -asm is required")
+		return fmt.Errorf("one of -bench, -asm or -snapshot-load is required")
 	}
 	if err != nil {
 		return err
@@ -167,17 +182,42 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	session, err := m.Load(program)
-	if err != nil {
-		return err
+	var session *ftsim.Session
+	workload := ""
+	if *snapLoad != "" {
+		data, err := os.ReadFile(*snapLoad)
+		if err != nil {
+			return err
+		}
+		session, err = m.Restore(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *snapLoad, err)
+		}
+		workload = fmt.Sprintf("resumed from %s (cycle %d)", *snapLoad, session.Stats().Cycles)
+	} else {
+		session, err = m.Load(program)
+		if err != nil {
+			return err
+		}
+		workload = program.Name()
 	}
-	st, err := session.Run(ctx)
-	if err != nil {
-		return err
+	st, runErr := session.Run(ctx)
+	if *snapSave != "" {
+		// Saved even when the run was interrupted or failed — capturing
+		// an in-flight workload mid-run is the point of snapshotting.
+		blob := session.Snapshot()
+		if err := os.WriteFile(*snapSave, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ftsim: snapshot at cycle %d (%d bytes) written to %s\n",
+			st.Cycles, len(blob), *snapSave)
+	}
+	if runErr != nil {
+		return runErr
 	}
 
 	fmt.Printf("model        %s (R=%d)\n", cfg.Name, cfg.R)
-	fmt.Printf("program      %s\n", program.Name())
+	fmt.Printf("program      %s\n", workload)
 	fmt.Printf("cycles       %d\n", st.Cycles)
 	fmt.Printf("instructions %d (copies %d)\n", st.Committed, st.Copies)
 	fmt.Printf("IPC          %.4f (copy IPC %.4f)\n", st.IPC(), st.CopyIPC())

@@ -1,0 +1,114 @@
+package bpred
+
+import "repro/internal/snap"
+
+// Canonical returns the configuration with every zero field replaced
+// by its Table 1 default — the form under which two configurations
+// describe the same hardware. Snapshot fingerprints hash the
+// canonical form so that Config{} and Default() (which build
+// identical predictors) also fingerprint identically.
+func (c Config) Canonical() Config { return c.withDefaults() }
+
+// EncodeSnapshot appends the predictor's complete architectural state
+// — direction counters, history registers, meta counters, BTB, RAS
+// and statistics — to w. The table geometries are not encoded; the
+// snapshot is only meaningful against a machine built from the same
+// configuration, which the caller enforces via a config fingerprint.
+// Lengths are still written and re-validated so a corrupt or
+// mismatched blob is rejected rather than misapplied.
+func (p *Predictor) EncodeSnapshot(w *snap.Writer) {
+	w.Bytes(p.bimodal)
+	w.U32(uint32(len(p.l1)))
+	for _, v := range p.l1 {
+		w.U64(v)
+	}
+	w.Bytes(p.l2)
+	w.Bytes(p.meta)
+	w.U32(uint32(len(p.btb)))
+	for i := range p.btb {
+		e := &p.btb[i]
+		w.Bool(e.valid)
+		w.U64(e.tag)
+		w.U64(e.target)
+		w.U64(e.lru)
+	}
+	w.U64(p.btbAge)
+	w.U32(uint32(len(p.ras)))
+	for _, v := range p.ras {
+		w.U64(v)
+	}
+	w.U32(uint32(p.rasTop))
+	s := &p.Stats
+	w.U64(s.CondLookups)
+	w.U64(s.CondMispredict)
+	w.U64(s.IndirLookups)
+	w.U64(s.IndirMispred)
+	w.U64(s.RASPushes)
+	w.U64(s.RASPops)
+	w.U64(s.BTBHits)
+	w.U64(s.BTBMisses)
+}
+
+// DecodeSnapshot restores state written by EncodeSnapshot into the
+// predictor in place. Any length that disagrees with the predictor's
+// geometry marks the reader corrupt and leaves remaining fields
+// unread; the caller checks r.Done(). The predictor may be left
+// partially overwritten on failure — restore paths discard the
+// machine on error.
+func (p *Predictor) DecodeSnapshot(r *snap.Reader) {
+	if b := r.Bytes(); len(b) == len(p.bimodal) {
+		copy(p.bimodal, b)
+	} else {
+		r.Corruptf("bimodal table length %d, want %d", len(b), len(p.bimodal))
+	}
+	if n := int(r.U32()); n == len(p.l1) {
+		for i := range p.l1 {
+			p.l1[i] = r.U64()
+		}
+	} else {
+		r.Corruptf("L1 history length %d, want %d", n, len(p.l1))
+	}
+	if b := r.Bytes(); len(b) == len(p.l2) {
+		copy(p.l2, b)
+	} else {
+		r.Corruptf("L2 pattern table length %d, want %d", len(b), len(p.l2))
+	}
+	if b := r.Bytes(); len(b) == len(p.meta) {
+		copy(p.meta, b)
+	} else {
+		r.Corruptf("meta table length %d, want %d", len(b), len(p.meta))
+	}
+	if n := int(r.U32()); n == len(p.btb) {
+		for i := range p.btb {
+			e := &p.btb[i]
+			e.valid = r.Bool()
+			e.tag = r.U64()
+			e.target = r.U64()
+			e.lru = r.U64()
+		}
+	} else {
+		r.Corruptf("BTB length %d, want %d", n, len(p.btb))
+	}
+	p.btbAge = r.U64()
+	if n := int(r.U32()); n == len(p.ras) {
+		for i := range p.ras {
+			p.ras[i] = r.U64()
+		}
+	} else {
+		r.Corruptf("RAS length %d, want %d", n, len(p.ras))
+	}
+	if top := int(r.U32()); top >= 0 && top <= len(p.ras) {
+		p.rasTop = top
+	} else {
+		r.Corruptf("RAS top %d out of range", top)
+	}
+	s := &p.Stats
+	s.CondLookups = r.U64()
+	s.CondMispredict = r.U64()
+	s.IndirLookups = r.U64()
+	s.IndirMispred = r.U64()
+	s.RASPushes = r.U64()
+	s.RASPops = r.U64()
+	s.BTBHits = r.U64()
+	s.BTBMisses = r.U64()
+}

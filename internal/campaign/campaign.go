@@ -115,6 +115,9 @@ type Result struct {
 	Value   any
 	Err     error
 	Elapsed time.Duration
+	// Attempts is how many times the trial executed (1 + retries
+	// consumed); 0 for trials that never ran because dispatch stopped.
+	Attempts int
 }
 
 // Progress observes trial completions as they happen. done counts
@@ -135,6 +138,10 @@ type Report struct {
 	Wall time.Duration
 	// Workers is the worker-pool size the campaign ran with.
 	Workers int
+	// Resumed counts trials restored from a checkpoint journal instead
+	// of executed; their Results carry the journaled value and elapsed
+	// time, and they contribute nothing to TrialSeconds or Wall.
+	Resumed int
 }
 
 // Speedup is the realised parallelism: total per-trial work divided by
@@ -149,28 +156,74 @@ func (r *Report) Speedup() float64 {
 	return r.TrialSeconds.Sum() / r.Wall.Seconds()
 }
 
-// Err returns the error of the lowest-index failed trial, so the
-// reported failure is deterministic regardless of completion order.
-// Cancellation errors are reported only when no trial failed for a real
-// reason: one failing trial cancels the campaign context, and the
-// in-flight siblings it interrupts then return context.Canceled — noise
-// that must not mask the root cause.
+// Err summarises the campaign's failures deterministically: the
+// lowest-index real failure is always the one wrapped (so errors.Is /
+// errors.As see the root cause regardless of completion order), and
+// when containment let several trials fail the message carries the
+// count. Cancellation errors are reported only when no trial failed
+// for a real reason: one failing trial cancels the campaign context
+// (unless Runner.Contain), and the in-flight siblings it interrupts
+// then return context.Canceled — noise that must not mask the root
+// cause. Use Failures for the full manifest.
 func (r *Report) Err() error {
-	var cancelled error
+	var cancelled, first error
+	failed := 0
 	for i := range r.Results {
 		err := r.Results[i].Err
 		if err == nil {
 			continue
 		}
-		wrapped := fmt.Errorf("trial %d (%s): %w", i, r.Results[i].Label, err)
-		if !isCancellation(err) {
-			return wrapped
+		if isCancellation(err) {
+			if cancelled == nil {
+				cancelled = fmt.Errorf("trial %d (%s): %w", i, r.Results[i].Label, err)
+			}
+			continue
 		}
-		if cancelled == nil {
-			cancelled = wrapped
+		failed++
+		if first == nil {
+			first = fmt.Errorf("trial %d (%s): %w", i, r.Results[i].Label, err)
 		}
 	}
-	return cancelled
+	switch {
+	case first == nil:
+		return cancelled
+	case failed == 1:
+		return first
+	default:
+		return fmt.Errorf("%d of %d trials failed; first: %w", failed, len(r.Results), first)
+	}
+}
+
+// TrialFailure is one entry of a campaign's error manifest.
+type TrialFailure struct {
+	Index    int
+	Label    string
+	Seed     int64
+	Attempts int
+	Err      error
+}
+
+// Failures returns the error manifest: every trial that failed for a
+// real reason, in grid order. Cancellation noise (siblings
+// interrupted by an abort) is excluded, mirroring Err. An empty
+// manifest with a non-nil Err means the campaign itself was
+// cancelled.
+func (r *Report) Failures() []TrialFailure {
+	var out []TrialFailure
+	for i := range r.Results {
+		res := &r.Results[i]
+		if res.Err == nil || isCancellation(res.Err) {
+			continue
+		}
+		out = append(out, TrialFailure{
+			Index:    i,
+			Label:    res.Label,
+			Seed:     res.Seed,
+			Attempts: res.Attempts,
+			Err:      res.Err,
+		})
+	}
+	return out
 }
 
 // isCancellation reports whether err is a context cancellation or
@@ -211,6 +264,33 @@ type Runner struct {
 	Batch int
 	// Progress, when non-nil, is invoked (serialised) after every trial.
 	Progress Progress
+
+	// Contain keeps the campaign running when a trial fails: instead of
+	// cancelling the grid on the first failure (the zero-value,
+	// fail-fast behaviour), the failed trial is recorded and every
+	// other trial still runs, yielding partial results plus the error
+	// manifest (Report.Failures). Panics are converted to
+	// *TrialPanicError either way — a containment wrapper always
+	// isolates a crashing trial from the worker pool.
+	Contain bool
+	// TrialTimeout, when positive, bounds each trial attempt with a
+	// per-trial deadline delivered through the trial's context; an
+	// attempt that exceeds it fails with *TrialTimeoutError. The
+	// deadline is cooperative — trials must plumb their context into
+	// the simulation loop for it to bite.
+	TrialTimeout time.Duration
+	// Retries is how many additional attempts a retryable failure
+	// (ErrTransient, ErrTrialTimeout) gets before the trial is declared
+	// failed. 0 disables retry.
+	Retries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// subsequent retry; <= 0 means 50ms.
+	RetryBackoff time.Duration
+
+	// Checkpoint, when non-nil, journals completed trials to disk and
+	// resumes a matching journal: already-recorded trials are restored
+	// into the report instead of re-run.
+	Checkpoint *Checkpoint
 }
 
 // batch resolves the dispatch batch size for n trials over w workers.
@@ -243,9 +323,11 @@ func (r Runner) workers(trials int) int {
 }
 
 // Run executes every trial of the spec and returns the completed
-// report. A trial failure does not abort trials already in flight, but
-// stops new trials from being dispatched; Report.Err surfaces the
-// lowest-index failure. The context cancels dispatch between trials.
+// report. Without Contain, a trial failure does not abort trials
+// already in flight but stops new trials from being dispatched; with
+// Contain, failures are recorded and the rest of the grid still runs.
+// Report.Err surfaces the lowest-index failure either way. The
+// context cancels dispatch between trials.
 func (r Runner) Run(ctx context.Context, spec Spec) (*Report, error) {
 	n := len(spec.Trials)
 	rep := &Report{Spec: spec.Name, Results: make([]Result, n), Workers: r.workers(n)}
@@ -254,14 +336,31 @@ func (r Runner) Run(ctx context.Context, spec Spec) (*Report, error) {
 	}
 	start := time.Now()
 
+	var jw *journal
+	var prefilled []bool
+	if r.Checkpoint != nil {
+		var resumed []Result
+		var err error
+		jw, resumed, err = r.Checkpoint.open(spec)
+		if err != nil {
+			return nil, err
+		}
+		prefilled = make([]bool, n)
+		for _, res := range resumed {
+			prefilled[res.Index] = true
+			rep.Results[res.Index] = res
+		}
+		rep.Resumed = len(resumed)
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	batch := r.batch(n, rep.Workers)
 	jobs := make(chan [2]int) // [start, end) trial-index ranges
 	var wg sync.WaitGroup
-	var mu sync.Mutex // guards done, rep.TrialSeconds and Progress calls
-	done := 0
+	var mu sync.Mutex // guards done, rep.TrialSeconds, journal appends and Progress calls
+	done := rep.Resumed
 
 	for w := 0; w < rep.Workers; w++ {
 		wg.Add(1)
@@ -273,18 +372,24 @@ func (r Runner) Run(ctx context.Context, spec Spec) (*Report, error) {
 			ws := &Workspace{}
 			for rng := range jobs {
 				for idx := rng[0]; idx < rng[1]; idx++ {
+					if prefilled != nil && prefilled[idx] {
+						continue // restored from the checkpoint journal
+					}
 					t := spec.Trials[idx]
 					res := Result{Index: idx, Label: t.Label, Seed: spec.trialSeed(idx)}
 					t0 := time.Now()
-					res.Value, res.Err = t.run(ctx, ws, res.Seed)
+					res.Value, res.Attempts, res.Err = r.runTrial(ctx, t, ws, res.Seed)
 					res.Elapsed = time.Since(t0)
 					rep.Results[idx] = res
-					if res.Err != nil {
+					if res.Err != nil && !r.Contain {
 						cancel()
 					}
 					mu.Lock()
 					done++
 					rep.TrialSeconds.Add(res.Elapsed.Seconds())
+					if jw != nil && res.Err == nil {
+						jw.append(r.Checkpoint, res)
+					}
 					if r.Progress != nil {
 						r.Progress(done, n, res)
 					}
@@ -318,8 +423,21 @@ dispatch:
 	// completed campaign, and a trial-level context.Canceled would bury
 	// how much of the grid was abandoned.
 	if dispatched < n && (err == nil || isCancellation(err)) {
-		return rep, fmt.Errorf("campaign %s: cancelled after %d/%d trials dispatched: %w",
+		err = fmt.Errorf("campaign %s: cancelled after %d/%d trials dispatched: %w",
 			spec.Name, dispatched, n, context.Cause(ctx))
+	}
+	if jw != nil {
+		// A journal failure degrades durability, not results: the report
+		// is complete in memory, so surface the checkpoint error alongside
+		// (not instead of) any trial failure.
+		if ckErr := jw.Close(); ckErr != nil {
+			ckErr = fmt.Errorf("campaign %s: checkpoint: %w", spec.Name, ckErr)
+			if err == nil {
+				err = ckErr
+			} else {
+				err = errors.Join(err, ckErr)
+			}
+		}
 	}
 	return rep, err
 }

@@ -162,6 +162,25 @@ func (c Config) Rebuild(m *cpu.Machine, p *prog.Program) (*cpu.Machine, error) {
 	return m, nil
 }
 
+// Restore re-initialises machine m in place from a snapshot
+// previously produced by cpu.Machine.Snapshot under an equivalent
+// configuration (equal cpu.Config.Fingerprint — run limits may
+// differ, so a snapshotted workload can resume under a larger
+// budget). A nil m allocates a fresh machine. On error the machine is
+// not usable until Rebuild or a successful Restore.
+func (c Config) Restore(m *cpu.Machine, data []byte) (*cpu.Machine, error) {
+	var prev *fault.Injector
+	if m == nil {
+		m = &cpu.Machine{}
+	} else {
+		prev = m.Injector()
+	}
+	if err := m.Restore(c.assemble(prev), data); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
 // Run builds and runs the machine to completion (program halt or run
 // limits) and returns its statistics.
 func Run(p *prog.Program, c Config) (*cpu.Stats, error) {

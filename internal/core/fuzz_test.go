@@ -1,0 +1,100 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/fault"
+)
+
+const fuzzSrc = `
+        li   r1, 2000
+        li   r2, 11
+        li   r3, 22
+loop:   add  r2, r2, r1
+        xor  r3, r3, r2
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        out  r3
+        halt
+`
+
+// snapshotFuzzMachine builds a deliberately small SS-2 machine — tiny
+// caches and predictor tables so snapshots stay a few KB — runs it into
+// the middle of a loop, and returns the config plus a mid-run snapshot.
+// The committed corpus under testdata/fuzz/FuzzSnapshotDecode/ was
+// produced from exactly this machine, so the fuzzer mutates from a
+// structurally valid blob that the test config actually accepts.
+func snapshotFuzzMachine(tb testing.TB) (Config, []byte) {
+	tb.Helper()
+	program, err := asm.Assemble("fuzz.s", fuzzSrc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := SS2()
+	cfg.CPU.Hierarchy = cache.HierarchyConfig{
+		IL1:        cache.Config{Name: "il1", SizeBytes: 1024, Ways: 1, LineBytes: 32, HitLatency: 1},
+		DL1:        cache.Config{Name: "dl1", SizeBytes: 1024, Ways: 1, LineBytes: 32, HitLatency: 1},
+		L2:         cache.Config{Name: "ul2", SizeBytes: 4096, Ways: 1, LineBytes: 64, HitLatency: 6},
+		MemLatency: 40,
+	}
+	cfg.CPU.Bpred = bpred.Config{
+		Kind:        bpred.KindCombined,
+		BimodalSize: 64,
+		L1Size:      2,
+		HistBits:    6,
+		L2Size:      64,
+		XOR:         true,
+		MetaSize:    64,
+		BTBSets:     16,
+		BTBWays:     2,
+		RASSize:     8,
+	}
+	cfg.Fault = fault.Config{Rate: 5e-4, Seed: 11, Targets: fault.AllTargets}
+	cfg.MaxInsts = 1_000
+	cfg.MaxCycles = 100_000
+	m, err := cfg.Build(program)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := m.RunContext(context.Background()); err != nil {
+		tb.Fatal(err)
+	}
+	return cfg, m.Snapshot()
+}
+
+// FuzzSnapshotDecode feeds arbitrary bytes to the snapshot restore
+// path. The decoder's contract: for any input it either restores a
+// coherent, runnable machine or rejects the blob with an error — it
+// never panics, never over-allocates from hostile length fields, and
+// never leaves the machine half-restored in a way that crashes a
+// subsequent run. Seeds include a real mid-run snapshot (so the
+// fuzzer mutates from a structurally valid starting point) and a few
+// degenerate shapes.
+//
+// The committed seed corpus lives in testdata/fuzz/FuzzSnapshotDecode/;
+// `go test -fuzz=FuzzSnapshotDecode ./internal/core` explores from
+// there.
+func FuzzSnapshotDecode(f *testing.F) {
+	cfg, blob := snapshotFuzzMachine(f)
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add(blob[:16])
+	f.Add([]byte{})
+	f.Add([]byte("FTSN"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rm, err := cfg.Restore(nil, data)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		// An accepted blob must yield a machine that runs (or finishes)
+		// cleanly under its budget.
+		if _, err := rm.RunContext(context.Background()); err != nil {
+			t.Fatalf("restored machine failed to run: %v", err)
+		}
+	})
+}

@@ -40,6 +40,31 @@ func (m *Machine) Reset(cfg Config, p *prog.Program) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
+	m.resetHardware(cfg)
+
+	// Program image and front end.
+	entry := p.LoadInto(m.mem)
+	m.regs[isa.RegSP] = prog.StackTop
+	m.nextPC.Set(entry)
+	m.fetchPC = entry
+
+	if cfg.Oracle {
+		m.oracle = funcsim.NewWithMemory(m.mem.Clone(), entry)
+		m.oracleLive = true
+	} else {
+		m.oracle = nil
+		m.oracleLive = false
+	}
+	return nil
+}
+
+// resetHardware re-initialises everything except the program image:
+// committed state is zeroed, speculative machinery and run counters
+// are reset, slabs are reused where the geometry fits. It is the part
+// of Reset shared with Restore, which overwrites the zeroed committed
+// state from a snapshot instead of loading a program. cfg must
+// already be validated.
+func (m *Machine) resetHardware(cfg Config) {
 	m.cfg = cfg
 
 	// Committed architectural state.
@@ -116,11 +141,8 @@ func (m *Machine) Reset(cfg Config, p *prog.Program) error {
 		m.commitGroup = cg[:0]
 	}
 
-	// Program image and front end.
-	entry := p.LoadInto(m.mem)
-	m.regs[isa.RegSP] = prog.StackTop
-	m.nextPC.Set(entry)
-	m.fetchPC = entry
+	// Front end and run counters.
+	m.fetchPC = 0
 	m.fetchQ = m.fetchQ.renew(cfg.FetchQueue)
 	m.stallUntil = 0
 	m.fetchHalt = false
@@ -131,13 +153,6 @@ func (m *Machine) Reset(cfg Config, p *prog.Program) error {
 	m.recoveryStart = 0
 	m.lastCommitCycle = 0
 	m.stats = Stats{}
-
-	if cfg.Oracle {
-		m.oracle = funcsim.NewWithMemory(m.mem.Clone(), entry)
-		m.oracleLive = true
-	} else {
-		m.oracle = nil
-		m.oracleLive = false
-	}
-	return nil
+	m.oracle = nil
+	m.oracleLive = false
 }

@@ -2,6 +2,11 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
 
 	"repro/ftsim"
 	"repro/internal/campaign"
@@ -15,12 +20,85 @@ type simPoint struct {
 	cfg   ftsim.Config
 }
 
+// valueCodec serialises trial values for a checkpoint journal. Each
+// campaign passes the codec matching its value type.
+type valueCodec struct {
+	encode func(any) ([]byte, error)
+	decode func([]byte) (any, error)
+}
+
+// jsonCodec builds a valueCodec for trial values of type T. The
+// experiment value types (ftsim.Stats counters, funcsim.Mix fractions)
+// are uint64s and float64s, which encoding/json round-trips exactly,
+// so resumed aggregates stay bit-identical to an uninterrupted run's.
+func jsonCodec[T any]() valueCodec {
+	return valueCodec{
+		encode: func(v any) ([]byte, error) {
+			t, ok := v.(T)
+			if !ok {
+				var want T
+				return nil, fmt.Errorf("experiments: checkpoint: trial value is %T, want %T", v, want)
+			}
+			return json.Marshal(t)
+		},
+		decode: func(data []byte) (any, error) {
+			var t T
+			if err := json.Unmarshal(data, &t); err != nil {
+				return nil, fmt.Errorf("experiments: checkpoint: %w", err)
+			}
+			return t, nil
+		},
+	}
+}
+
+// campaignHash fingerprints what the trial closures hide from the
+// campaign engine: the grid's shape (labels encode benchmark, model
+// and sweep parameters) and the per-run instruction budget. Resuming
+// under a changed grid or budget fails with ErrCheckpointMismatch
+// instead of mixing incompatible results.
+func campaignHash(name string, trials []campaign.Trial, opt Options) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%d\x00", name, opt.MaxInsts)
+	for _, t := range trials {
+		fmt.Fprintf(h, "%s\x00", t.Label)
+	}
+	return h.Sum64()
+}
+
 // runCampaign runs a trial grid through the campaign engine with the
 // runner configured from opt (worker count, progress sink, campaign
-// seed). group is the spec's seed-index mapping (nil = identity). The
-// finished report is handed to opt.Report when set.
-func runCampaign(name string, trials []campaign.Trial, group func(int) int, opt Options) (*campaign.Report, error) {
-	runner := campaign.Runner{Workers: opt.Parallel, Progress: opt.Progress}
+// seed, containment policy, checkpointing). group is the spec's
+// seed-index mapping (nil = identity). The finished report is handed
+// to opt.Report when set.
+func runCampaign(name string, trials []campaign.Trial, group func(int) int, codec valueCodec, opt Options) (*campaign.Report, error) {
+	runner := campaign.Runner{
+		Workers:      opt.Parallel,
+		Progress:     opt.Progress,
+		Contain:      opt.Contain,
+		TrialTimeout: opt.TrialTimeout,
+		Retries:      opt.Retries,
+	}
+	if opt.CheckpointDir != "" {
+		path := filepath.Join(opt.CheckpointDir, name+".ckpt")
+		if !opt.Resume {
+			// A non-empty journal the caller did not ask to resume is a
+			// footgun either way: silently resuming surprises a user who
+			// wanted a fresh run, silently overwriting destroys completed
+			// work. Make the choice explicit.
+			if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
+				return nil, fmt.Errorf("experiments: checkpoint %s already holds a journal; resume it (Options.Resume / ftexp -resume) or delete it to start over", path)
+			}
+		}
+		if err := os.MkdirAll(opt.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("experiments: checkpoint: %w", err)
+		}
+		runner.Checkpoint = &campaign.Checkpoint{
+			Path:   path,
+			Hash:   campaignHash(name, trials, opt),
+			Encode: codec.encode,
+			Decode: codec.decode,
+		}
+	}
 	spec := campaign.Spec{Name: name, Seed: opt.FaultSeed, SeedIndex: group, Trials: trials}
 	ctx := opt.Context
 	if ctx == nil {
@@ -80,7 +158,7 @@ func runGridGrouped(name string, points []simPoint, group func(int) int, opt Opt
 			},
 		}
 	}
-	rep, err := runCampaign(name, trials, group, opt)
+	rep, err := runCampaign(name, trials, group, jsonCodec[*ftsim.Stats](), opt)
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/ftsim"
 	"repro/internal/campaign"
@@ -45,6 +46,24 @@ type Options struct {
 	// Report, when non-nil, receives each finished campaign's report
 	// (worker count, wall time, streaming trial-time aggregates).
 	Report func(*campaign.Report)
+
+	// CheckpointDir, when non-empty, journals each campaign's completed
+	// trials to <dir>/<campaign>.ckpt so a killed run can resume. A
+	// non-empty journal is only resumed when Resume is also set;
+	// otherwise it is reported as an error rather than silently resumed
+	// or overwritten.
+	CheckpointDir string
+	// Resume permits resuming existing checkpoint journals: completed
+	// trials are restored from disk and only the remainder simulates.
+	Resume bool
+	// TrialTimeout, when positive, bounds each trial with a per-trial
+	// deadline (campaign.Runner.TrialTimeout).
+	TrialTimeout time.Duration
+	// Retries re-attempts retryable trial failures this many times.
+	Retries int
+	// Contain keeps a campaign running past trial failures, collecting
+	// an error manifest instead of cancelling the grid.
+	Contain bool
 }
 
 // Defaults fills zero fields.
@@ -153,7 +172,7 @@ func Table2(opt Options) ([]MixRow, error) {
 			},
 		}
 	}
-	rep, err := runCampaign("table2", trials, nil, opt)
+	rep, err := runCampaign("table2", trials, nil, jsonCodec[funcsim.Mix](), opt)
 	if err != nil {
 		return nil, err
 	}

@@ -80,11 +80,34 @@ type Stats struct {
 // Count returns the number of faults injected into the given target.
 func (s *Stats) Count(t Target) uint64 { return s.ByTarget[t] }
 
+// countedSource wraps a rand.Source and counts raw Int63 draws. It
+// deliberately implements only rand.Source (not Source64): every
+// generator method the injector uses — Float64, Intn — routes through
+// src.Int63() exactly once per draw, so the count plus the seed is a
+// complete, replayable description of the RNG state. That is what
+// makes a machine snapshot able to capture "where the fault schedule
+// is" without access to math/rand's unexported generator state.
+type countedSource struct {
+	src   rand.Source
+	draws uint64
+}
+
+func (c *countedSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countedSource) Seed(seed int64) {
+	c.draws = 0
+	c.src.Seed(seed)
+}
+
 // Injector decides, per executed instruction copy, whether to corrupt it
 // and how. It is deterministic for a fixed seed.
 type Injector struct {
 	cfg     Config
 	rng     *rand.Rand
+	src     *countedSource
 	targets []Target
 
 	Stats Stats
@@ -99,9 +122,11 @@ func New(cfg Config) *Injector {
 	if len(targets) == 0 {
 		targets = []Target{TargetResult}
 	}
+	src := &countedSource{src: rand.NewSource(cfg.Seed)}
 	return &Injector{
 		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     rand.New(src),
+		src:     src,
 		targets: targets,
 	}
 }
@@ -130,6 +155,39 @@ func Renew(old *Injector, cfg Config) *Injector {
 	old.targets = targets
 	old.Stats = Stats{}
 	return old
+}
+
+// Config returns the injector's configuration; nil-safe (a nil
+// injector reports the zero, disabled Config).
+func (in *Injector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// Draws reports how many raw RNG values the injector has consumed
+// since its last (re)seed; nil-safe. Together with Config().Seed it
+// pins the injector's exact position in the fault schedule.
+func (in *Injector) Draws() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.src.draws
+}
+
+// RestoreState rewinds the injector to "seeded with cfg.Seed, then
+// draws raw values consumed, with the given statistics". Replaying
+// the counted draws against a fresh seed reproduces the generator
+// state exactly, because every injector decision consumes whole
+// Int63 draws (see countedSource).
+func (in *Injector) RestoreState(draws uint64, stats Stats) {
+	in.rng.Seed(in.cfg.Seed)
+	for i := uint64(0); i < draws; i++ {
+		in.src.src.Int63()
+	}
+	in.src.draws = draws
+	in.Stats = stats
 }
 
 // Roll decides whether the current instruction copy suffers an upset and,

@@ -16,6 +16,7 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // PageShift and PageSize define the lazy-allocation granularity.
@@ -188,6 +189,50 @@ func (m *Memory) SetBytes(addr uint64, src []byte) {
 		src = src[n:]
 		addr += uint64(n)
 	}
+}
+
+// NonZeroPages returns the indices of pages holding at least one
+// non-zero byte, in ascending order. Zeroed retained pages are
+// skipped: they are semantically identical to absent pages, so a
+// snapshot that only records non-zero pages restores a memory
+// indistinguishable (by Equal and by every access) from the donor.
+func (m *Memory) NonZeroPages() []uint64 {
+	var zero page
+	idxs := make([]uint64, 0, len(m.pages))
+	for idx, p := range m.pages {
+		if *p != zero {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	return idxs
+}
+
+// PageData returns the raw contents of page idx, or nil if the page
+// is not allocated. The returned slice aliases live storage — callers
+// must copy or finish with it before the memory is written again.
+func (m *Memory) PageData(idx uint64) []byte {
+	p := m.pages[idx]
+	if p == nil {
+		return nil
+	}
+	return p[:]
+}
+
+// LoadPage installs data (at most PageSize bytes) as the contents of
+// page idx, allocating it if needed. Restore paths use it to rebuild
+// a memory image page-by-page.
+func (m *Memory) LoadPage(idx uint64, data []byte) {
+	if len(data) > PageSize {
+		panic(fmt.Sprintf("mem: LoadPage with %d bytes", len(data)))
+	}
+	p := m.pages[idx]
+	if p == nil {
+		p = new(page)
+		m.pages[idx] = p
+	}
+	*p = page{}
+	copy(p[:], data)
 }
 
 // Equal reports whether the two memories have identical contents. Pages
