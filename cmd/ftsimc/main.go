@@ -1,0 +1,250 @@
+// Command ftsimc is the ftsimd client CLI.
+//
+//	ftsimc -addr http://127.0.0.1:8080 submit config.json
+//	ftsimc submit -bench swim -seed 7 -max-insts 50000 ftsim/testdata/*.json
+//	ftsimc status <job-id>          # one-line summary
+//	ftsimc status -stats <job-id>   # raw aggregate stats JSON
+//	ftsimc watch <job-id>           # live SSE progress to completion
+//	ftsimc cancel <job-id>
+//	ftsimc list
+//
+// submit builds one trial per config file (or wraps a full campaign
+// request file unchanged when it already contains a "trials" array)
+// and prints the job ID. watch exits 0 on done, 1 on failed/cancelled.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"repro/ftsim"
+	"repro/ftsim/api"
+	"repro/ftsim/client"
+	"repro/internal/buildinfo"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ftsimc [-addr URL] [-token ID] <command> [args]
+
+commands:
+  submit [-name N] [-bench B] [-seed S] [-workers W] [-max-insts I] <config.json>...
+  status [-stats] <job-id>
+  watch  <job-id>
+  cancel <job-id>
+  list
+  version`)
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", envOr("FTSIMD_ADDR", "http://127.0.0.1:8080"), "ftsimd base URL (env FTSIMD_ADDR)")
+	token := flag.String("token", "", "client identity for quota accounting")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Usage = usage
+	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "ftsimc")
+		return
+	}
+	if flag.NArg() == 0 {
+		usage()
+	}
+
+	c := &client.Client{BaseURL: strings.TrimRight(*addr, "/"), Token: *token}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = runSubmit(ctx, c, args)
+	case "status":
+		err = runStatus(ctx, c, args)
+	case "watch":
+		err = runWatch(ctx, c, args)
+	case "cancel":
+		err = runCancel(ctx, c, args)
+	case "list":
+		err = runList(ctx, c, args)
+	case "version":
+		buildinfo.Print(os.Stdout, "ftsimc")
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftsimc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+// runSubmit builds a campaign from config files — one trial each —
+// and submits it. A single file that already holds a full campaign
+// request (a "trials" array) is forwarded unchanged.
+func runSubmit(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	name := fs.String("name", "", "campaign name (default: first config's basename)")
+	bench := fs.String("bench", "", "benchmark for every trial (default: server's)")
+	seed := fs.Int64("seed", 0, "campaign master seed (0 = server default)")
+	workers := fs.Int("workers", 0, "worker goroutines for this campaign (0 = server default)")
+	maxInsts := fs.Uint64("max-insts", 0, "override each config's instruction budget")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("submit: no config files")
+	}
+
+	req := &api.CampaignRequest{Name: *name, Seed: *seed, Workers: *workers}
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		base := strings.TrimSuffix(filepath.Base(path), ".json")
+		if fs.NArg() == 1 && hasTrials(data) {
+			// A full request file: forward as-is.
+			st, err := c.SubmitRaw(ctx, data)
+			if err != nil {
+				return err
+			}
+			fmt.Println(st.ID)
+			return nil
+		}
+		var cfg ftsim.Config
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if *maxInsts > 0 {
+			cfg.MaxInsts = *maxInsts
+		}
+		if req.Name == "" {
+			req.Name = base
+		}
+		req.Trials = append(req.Trials, api.TrialSpec{
+			Label: base, Benchmark: *bench, Config: cfg,
+		})
+	}
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return err
+	}
+	fmt.Println(st.ID)
+	return nil
+}
+
+func hasTrials(data []byte) bool {
+	var probe map[string]json.RawMessage
+	return json.Unmarshal(data, &probe) == nil && probe["trials"] != nil
+}
+
+func summarize(st *api.JobStatus) string {
+	s := fmt.Sprintf("%s  %-9s  %-16s  %d/%d trials", st.ID, st.State, st.Name, st.Done, st.Trials)
+	if st.Failed > 0 {
+		s += fmt.Sprintf("  %d failed", st.Failed)
+	}
+	if st.Resumed > 0 {
+		s += fmt.Sprintf("  %d resumed", st.Resumed)
+	}
+	if st.Error != "" {
+		s += "  (" + st.Error + ")"
+	}
+	return s
+}
+
+func runStatus(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	stats := fs.Bool("stats", false, "print the raw aggregate stats JSON instead of a summary")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("status: want one job ID")
+	}
+	st, err := c.Status(ctx, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *stats {
+		if len(st.Stats) == 0 {
+			return fmt.Errorf("job %s (%s) has no stats", st.ID, st.State)
+		}
+		fmt.Println(string(st.Stats))
+		return nil
+	}
+	fmt.Println(summarize(st))
+	return nil
+}
+
+func runWatch(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("watch: want one job ID")
+	}
+	var final *api.JobStatus
+	err := c.Watch(ctx, args[0], 0, func(ev api.Event) error {
+		switch ev.Type {
+		case api.EventState:
+			fmt.Printf("state: %s\n", ev.State)
+		case api.EventInterval:
+			if ev.Interval != nil {
+				fmt.Printf("  trial %d (%s): %d cycles, IPC %.3f, %d faults detected\n",
+					ev.Trial, ev.Label, ev.Interval.Cycles, ev.Interval.IPC, ev.Interval.FaultsDetected)
+			}
+		case api.EventTrial:
+			line := fmt.Sprintf("trial %d (%s): done %d/%d in %.3fs", ev.Trial, ev.Label, ev.Done, ev.Total, ev.Seconds)
+			if ev.Err != "" {
+				line += "  ERROR: " + ev.Err
+			}
+			fmt.Println(line)
+		case api.EventDone:
+			final = ev.Status
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if final != nil {
+		fmt.Println(summarize(final))
+		if final.State != api.StateDone {
+			os.Exit(1)
+		}
+	}
+	return nil
+}
+
+func runCancel(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("cancel: want one job ID")
+	}
+	st, err := c.Cancel(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Println(summarize(st))
+	return nil
+}
+
+func runList(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("list: no arguments")
+	}
+	jobs, err := c.List(ctx)
+	if err != nil {
+		return err
+	}
+	for _, st := range jobs {
+		fmt.Println(summarize(st))
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+// Command ftsimd serves fault-injection campaigns over HTTP.
+//
+// Clients POST campaign grids as JSON — either a full campaign request
+// or a bare machine config (the ftsim/testdata golden files are valid
+// bodies as-is) — and the daemon queues them onto the campaign engine,
+// streams per-interval samples and per-trial completions as SSE, and
+// journals completed trials under -data-dir so a killed or restarted
+// daemon resumes unfinished campaigns where they stopped.
+//
+//	ftsimd -addr :8080 -data-dir /var/lib/ftsimd
+//	ftsimd -addr 127.0.0.1:0 -jobs 2 -workers 4
+//
+// SIGINT/SIGTERM drain gracefully: admission stops, running campaigns
+// flush their checkpoint journals and return, queued jobs stay queued
+// for the next start.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	dataDir := flag.String("data-dir", "", "persistence root for job envelopes and checkpoint journals (empty = ephemeral)")
+	queue := flag.Int("queue", 64, "max queued jobs across all clients")
+	jobs := flag.Int("jobs", 1, "campaigns running concurrently")
+	workers := flag.Int("workers", 0, "default worker goroutines per campaign (0 = GOMAXPROCS)")
+	maxQueuedPerClient := flag.Int("max-queued-per-client", 16, "max active (queued+running) jobs per client token")
+	maxTrialsPerClient := flag.Int("max-trials-per-client", 1_000_000, "max trials in flight per client token")
+	defaultBench := flag.String("default-bench", "gcc", "benchmark for trials that name none")
+	defaultMaxInsts := flag.Uint64("default-max-insts", 200_000, "instruction budget applied to configs with no run limits")
+	observeEvery := flag.Uint64("observe-every", 0, "SSE interval-sample period in cycles (0 = library default)")
+	flushEvery := flag.Int("flush-every", 1, "checkpoint fsync batch size (1 = every completed trial is durable)")
+	trialTimeout := flag.Duration("trial-timeout", 0, "per-trial deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before the process gives up waiting")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *version {
+		buildinfo.Print(os.Stdout, "ftsimd")
+		return
+	}
+	logger := log.New(os.Stderr, "ftsimd: ", log.LstdFlags)
+
+	s, err := server.New(server.Config{
+		DataDir:            *dataDir,
+		MaxQueue:           *queue,
+		Concurrency:        *jobs,
+		WorkersPerJob:      *workers,
+		MaxQueuedPerClient: *maxQueuedPerClient,
+		MaxTrialsPerClient: *maxTrialsPerClient,
+		DefaultBenchmark:   *defaultBench,
+		DefaultMaxInsts:    *defaultMaxInsts,
+		ObserveEvery:       *observeEvery,
+		FlushEvery:         *flushEvery,
+		TrialTimeout:       *trialTimeout,
+		Logf:               logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	// Print the resolved address on stdout so scripts using port 0 can
+	// discover where the daemon landed.
+	fmt.Println(ln.Addr().String())
+	logger.Printf("listening on %s (data-dir %q, %d job slot(s))", ln.Addr(), *dataDir, *jobs)
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		logger.Printf("shutdown signal; draining (budget %s)", *drainTimeout)
+	case err := <-errc:
+		logger.Fatal(err)
+	}
+
+	// Stop accepting connections, then drain the job engine: running
+	// campaigns are cancelled and flush their journals before we exit.
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := s.Drain(dctx); err != nil {
+		logger.Printf("%v", err)
+		os.Exit(1)
+	}
+	logger.Printf("drained cleanly")
+}

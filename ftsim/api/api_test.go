@@ -1,0 +1,94 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/ftsim"
+)
+
+// TestParseSubmissionGoldenConfigs: every ftsim/testdata golden machine
+// config is a valid submission body, wrapped as a one-trial campaign.
+func TestParseSubmissionGoldenConfigs(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "testdata", "*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no golden configs found (err=%v)", err)
+	}
+	for _, path := range matches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := ParseSubmission(data)
+		if err != nil {
+			t.Errorf("%s: %v", filepath.Base(path), err)
+			continue
+		}
+		if len(req.Trials) != 1 {
+			t.Errorf("%s: wrapped into %d trials, want 1", filepath.Base(path), len(req.Trials))
+			continue
+		}
+		if err := req.Trials[0].Config.Validate(); err != nil {
+			t.Errorf("%s: wrapped config invalid: %v", filepath.Base(path), err)
+		}
+	}
+}
+
+// TestParseSubmissionRequestRoundTrip: a full CampaignRequest survives
+// marshal → ParseSubmission.
+func TestParseSubmissionRequestRoundTrip(t *testing.T) {
+	in := &CampaignRequest{
+		Name: "sweep",
+		Seed: 7,
+		Trials: []TrialSpec{
+			{Label: "a", Benchmark: "gcc", Config: ftsim.ModelSS2.Config()},
+			{Label: "b", Benchmark: "swim", Config: ftsim.ModelSS3.Config()},
+		},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseSubmission(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.Seed != in.Seed || len(out.Trials) != 2 ||
+		out.Trials[1].Benchmark != "swim" {
+		t.Errorf("round trip mangled the request: %+v", out)
+	}
+}
+
+// TestParseSubmissionRejects: typos and invalid configs fail loudly.
+func TestParseSubmissionRejects(t *testing.T) {
+	for name, body := range map[string]string{
+		"not json":            `[]`,
+		"unknown field":       `{"trials": [], "trails": 1}`,
+		"config typo":         `{"r": 1, "pipelin": {}}`,
+		"invalid bare config": `{"r": -4}`,
+	} {
+		if _, err := ParseSubmission([]byte(body)); err == nil {
+			t.Errorf("%s: accepted %s", name, body)
+		}
+	}
+	// Bare-config validation errors keep the ftsim taxonomy.
+	_, err := ParseSubmission([]byte(`{"r": -4}`))
+	if !errors.Is(err, ftsim.ErrInvalidConfig) {
+		t.Errorf("bare invalid config: got %v, want ErrInvalidConfig", err)
+	}
+}
+
+// TestJobStateTerminal pins the lifecycle's terminal states.
+func TestJobStateTerminal(t *testing.T) {
+	for state, terminal := range map[JobState]bool{
+		StateQueued: false, StateRunning: false,
+		StateDone: true, StateFailed: true, StateCancelled: true,
+	} {
+		if state.Terminal() != terminal {
+			t.Errorf("%s.Terminal() = %v, want %v", state, !terminal, terminal)
+		}
+	}
+}

@@ -62,7 +62,10 @@ type campaignOpts struct {
 	workers      int
 	seed         int64
 	progress     campaign.Progress
+	observer     TrialObserver
+	observeEvery uint64
 	checkpoint   string
+	flushEvery   int
 	trialTimeout time.Duration
 	retries      int
 	backoff      time.Duration
@@ -87,12 +90,44 @@ func WithCampaignProgress(fn CampaignProgress) CampaignOption {
 	return func(o *campaignOpts) { o.progress = fn }
 }
 
+// TrialObserver receives the Interval samples of every running trial of
+// a campaign, tagged with the trial's grid index and label. Distinct
+// trials run on distinct workers concurrently, so the observer must be
+// safe for concurrent use; like a session Observer it is a pure tap —
+// observation never changes results — and must not block for long.
+type TrialObserver func(trial int, label string, iv Interval)
+
+// WithCampaignObserver streams per-interval progress of every trial to
+// fn while the campaign runs — the live feed a dashboard or a campaign
+// service forwards to clients. Samples arrive at the WithObserveEvery
+// period of each trial (DefaultObserveEvery unless
+// WithCampaignObserveEvery overrides it), plus one Final sample per
+// trial.
+func WithCampaignObserver(fn TrialObserver) CampaignOption {
+	return func(o *campaignOpts) { o.observer = fn }
+}
+
+// WithCampaignObserveEvery sets the observation period, in simulated
+// cycles, of the WithCampaignObserver stream.
+func WithCampaignObserveEvery(cycles uint64) CampaignOption {
+	return func(o *campaignOpts) { o.observeEvery = cycles }
+}
+
 // WithCheckpoint journals completed trials to the file at path and
 // resumes from it when it already holds a matching campaign's records.
 // A journal written by a different campaign fails with
 // ErrCheckpointMismatch rather than silently mixing grids.
 func WithCheckpoint(path string) CampaignOption {
 	return func(o *campaignOpts) { o.checkpoint = path }
+}
+
+// WithCheckpointFlushEvery sets the journal's fsync batch size: the
+// checkpoint is synced to stable storage after every n completed
+// trials (default 32). 1 makes every trial durable the moment it
+// completes — what a long-lived campaign service wants — at the cost
+// of one fsync per trial.
+func WithCheckpointFlushEvery(n int) CampaignOption {
+	return func(o *campaignOpts) { o.flushEvery = n }
 }
 
 // WithTrialTimeout bounds each trial attempt with a per-trial deadline
@@ -155,12 +190,17 @@ func RunCampaign(ctx context.Context, name string, trials []Trial, opts ...Campa
 		if err != nil {
 			return nil, fmt.Errorf("trial %d (%s): %w", i, t.Label, err)
 		}
+		idx := i
 		specTrials[i] = campaign.Trial{
 			Label: t.Label,
 			RunW: func(ctx context.Context, ws *campaign.Workspace, seed int64) (any, error) {
 				run := *m // the seed override must not leak across trials
 				if run.cfg.Fault.Enabled() {
 					run.cfg.Fault.Seed = seed
+				}
+				if o.observer != nil {
+					run.obs = ObserverFunc(func(iv Interval) { o.observer(idx, t.Label, iv) })
+					run.every = o.observeEvery
 				}
 				return run.RunPooled(ctx, campaignPool(ws), t.Program)
 			},
@@ -180,10 +220,11 @@ func RunCampaign(ctx context.Context, name string, trials []Trial, opts ...Campa
 			return nil, err
 		}
 		runner.Checkpoint = &campaign.Checkpoint{
-			Path:   o.checkpoint,
-			Hash:   hash,
-			Encode: encodeStatsValue,
-			Decode: decodeStatsValue,
+			Path:       o.checkpoint,
+			Hash:       hash,
+			Encode:     encodeStatsValue,
+			Decode:     decodeStatsValue,
+			FlushEvery: o.flushEvery,
 		}
 	}
 	spec := campaign.Spec{Name: name, Seed: o.seed, Trials: specTrials}

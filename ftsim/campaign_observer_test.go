@@ -1,0 +1,72 @@
+package ftsim_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/ftsim"
+)
+
+// TestCampaignObserverStreamsEveryTrial: WithCampaignObserver delivers
+// interval samples tagged with the right trial index and label, exactly
+// one Final sample per trial, and — observation being a pure tap —
+// identical campaign statistics to an unobserved run.
+func TestCampaignObserverStreamsEveryTrial(t *testing.T) {
+	trials := campaignGrid(t)
+
+	var mu sync.Mutex
+	finals := make(map[int]int)       // trial index -> Final sample count
+	samples := make(map[int]int)      // trial index -> total samples
+	labels := make(map[int]string)    // trial index -> observed label
+	committed := make(map[int]uint64) // trial index -> last cumulative Committed
+	rep, err := ftsim.RunCampaign(context.Background(), "observed", trials,
+		ftsim.WithWorkers(2),
+		ftsim.WithCampaignObserveEvery(500), // several samples per 2k-inst trial
+		ftsim.WithCampaignObserver(func(trial int, label string, iv ftsim.Interval) {
+			mu.Lock()
+			defer mu.Unlock()
+			samples[trial]++
+			labels[trial] = label
+			committed[trial] = iv.Committed
+			if iv.Final {
+				finals[trial]++
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ftsim.CollectStats(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, tr := range trials {
+		if finals[i] != 1 {
+			t.Errorf("trial %d: %d Final samples, want exactly 1", i, finals[i])
+		}
+		if samples[i] < 2 {
+			t.Errorf("trial %d: only %d samples; want periodic intervals plus the Final one", i, samples[i])
+		}
+		if labels[i] != tr.Label {
+			t.Errorf("trial %d: observed label %q, want %q", i, labels[i], tr.Label)
+		}
+		if committed[i] != got[i].Committed {
+			t.Errorf("trial %d: final observed Committed %d != stats %d", i, committed[i], got[i].Committed)
+		}
+	}
+
+	plain, err := ftsim.RunCampaign(context.Background(), "observed", trials,
+		ftsim.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ftsim.CollectStats(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("observed campaign statistics differ from an unobserved run's")
+	}
+}

@@ -1,0 +1,189 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/ftsim"
+	"repro/ftsim/api"
+	"repro/ftsim/client"
+	"repro/internal/server"
+)
+
+// startDaemon runs an in-process ftsimd and returns a client bound to
+// it.
+func startDaemon(t *testing.T, cfg server.Config) *client.Client {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		ts.Close()
+	})
+	return &client.Client{BaseURL: ts.URL}
+}
+
+func loopTrial(label string, iters int) api.TrialSpec {
+	cfg := ftsim.ModelSS2.Config()
+	cfg.MaxInsts = 30_000
+	cfg.MaxCycles = 1_000_000
+	return api.TrialSpec{
+		Label: label,
+		Asm: `
+        li   r1, ` + itoa(iters) + `
+loop:   addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+`,
+		Config: cfg,
+	}
+}
+
+func itoa(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}
+
+// TestClientEndToEnd exercises the whole client surface against a live
+// in-process daemon: submit, watch to completion, status, list,
+// health, version.
+func TestClientEndToEnd(t *testing.T) {
+	c := startDaemon(t, server.Config{ObserveEvery: 500})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	st, err := c.Submit(ctx, &api.CampaignRequest{
+		Name:   "e2e",
+		Seed:   5,
+		Trials: []api.TrialSpec{loopTrial("a", 2000), loopTrial("b", 2000)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateQueued || st.Trials != 2 {
+		t.Fatalf("submit: %+v", st)
+	}
+
+	var trials int
+	var final *api.JobStatus
+	err = c.Watch(ctx, st.ID, 0, func(ev api.Event) error {
+		switch ev.Type {
+		case api.EventTrial:
+			trials++
+		case api.EventDone:
+			final = ev.Status
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if trials != 2 || final == nil || final.State != api.StateDone {
+		t.Fatalf("watch saw %d trials, final %+v", trials, final)
+	}
+
+	got, err := c.Status(ctx, st.ID)
+	if err != nil || got.State != api.StateDone || len(got.Stats) == 0 {
+		t.Fatalf("status: %+v, %v", got, err)
+	}
+	list, err := c.List(ctx)
+	if err != nil || len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list: %+v, %v", list, err)
+	}
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" || h.Jobs != 1 {
+		t.Fatalf("health: %+v, %v", h, err)
+	}
+	v, err := c.Version(ctx)
+	if err != nil || v.GoVersion == "" {
+		t.Fatalf("version: %+v, %v", v, err)
+	}
+}
+
+// TestClientCancelAndWatchStop: cancelling a running job lands it in
+// cancelled, and a Watch callback can stop the stream early.
+func TestClientCancelAndWatchStop(t *testing.T) {
+	c := startDaemon(t, server.Config{Concurrency: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	blocker := ftsim.ModelSS2.Config()
+	blocker.MaxInsts = 1 << 50
+	blocker.MaxCycles = 1 << 52
+	st, err := c.Submit(ctx, &api.CampaignRequest{
+		Name: "spin",
+		Trials: []api.TrialSpec{{
+			Label:  "spin",
+			Asm:    "loop: addi r1, r1, 1\n bne r1, r0, loop\n halt\n",
+			Config: blocker,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stop the watch as soon as the job reports running.
+	err = c.Watch(ctx, st.ID, 0, func(ev api.Event) error {
+		if ev.Type == api.EventState && ev.State == api.StateRunning {
+			return client.ErrWatchStopped
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got, err := c.Status(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State == api.StateCancelled {
+			break
+		}
+		if got.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("state %s, want cancelled", got.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClientErrors: service errors surface as *api.Error with the
+// status code and the server's message.
+func TestClientErrors(t *testing.T) {
+	c := startDaemon(t, server.Config{})
+	ctx := context.Background()
+
+	_, err := c.SubmitRaw(ctx, []byte(`{"trials": []}`))
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty submission: %v", err)
+	}
+	if apiErr.Message == "" {
+		t.Error("error carries no message")
+	}
+
+	_, err = c.Status(ctx, "nope")
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %v", err)
+	}
+}

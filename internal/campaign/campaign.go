@@ -362,6 +362,21 @@ func (r Runner) Run(ctx context.Context, spec Spec) (*Report, error) {
 	var mu sync.Mutex // guards done, rep.TrialSeconds, journal appends and Progress calls
 	done := rep.Resumed
 
+	// Fsync on drain: the moment the campaign is cancelled (parent
+	// context or fail-fast), flush journaled-but-unsynced trials and
+	// switch to sync-per-append. A SIGTERM'd process then has every
+	// completed trial durable before its in-flight trials finish
+	// draining — it cannot lose a batch of results to the follow-up
+	// SIGKILL that graceful-shutdown timeouts deliver.
+	if jw != nil {
+		stopDrain := context.AfterFunc(ctx, func() {
+			mu.Lock()
+			jw.drain()
+			mu.Unlock()
+		})
+		defer stopDrain()
+	}
+
 	for w := 0; w < rep.Workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -427,10 +442,15 @@ dispatch:
 			spec.Name, dispatched, n, context.Cause(ctx))
 	}
 	if jw != nil {
+		// Close under mu: the drain AfterFunc may still be contending for
+		// the lock, and journal state is only ever touched under it.
+		mu.Lock()
+		ckErr := jw.Close()
+		mu.Unlock()
 		// A journal failure degrades durability, not results: the report
 		// is complete in memory, so surface the checkpoint error alongside
 		// (not instead of) any trial failure.
-		if ckErr := jw.Close(); ckErr != nil {
+		if ckErr != nil {
 			ckErr = fmt.Errorf("campaign %s: checkpoint: %w", spec.Name, ckErr)
 			if err == nil {
 				err = ckErr

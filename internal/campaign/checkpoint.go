@@ -49,6 +49,10 @@ type Checkpoint struct {
 	// close). <= 0 means 32. Records between syncs can be lost to a
 	// crash — they are re-run on resume, never corrupted.
 	FlushEvery int
+
+	// syncHook, when non-nil, observes every successful journal fsync
+	// with the number of records the sync made durable. Test-only.
+	syncHook func(flushed int)
 }
 
 // Journal record kinds. The header is always the first frame.
@@ -182,7 +186,7 @@ func (c *Checkpoint) open(spec Spec) (*journal, []Result, error) {
 		return nil, nil, fmt.Errorf("campaign: checkpoint %s: read: %w", c.Path, err)
 	}
 	hdr, recs, valid := parseJournal(data)
-	j := &journal{f: f, flushEvery: c.FlushEvery}
+	j := &journal{f: f, flushEvery: c.FlushEvery, syncHook: c.syncHook}
 	if j.flushEvery <= 0 {
 		j.flushEvery = 32
 	}
@@ -275,7 +279,9 @@ type journal struct {
 	f          *os.File
 	flushEvery int
 	pending    int
+	closed     bool
 	err        error
+	syncHook   func(flushed int)
 }
 
 // reset truncates the file and writes a fresh header, synced.
@@ -295,7 +301,7 @@ func (j *journal) reset(header []byte) error {
 // append journals one successful trial. The caller serialises calls
 // (the runner appends under its completion mutex).
 func (j *journal) append(c *Checkpoint, res Result) {
-	if j.err != nil {
+	if j.err != nil || j.closed {
 		return
 	}
 	value, err := c.Encode(res.Value)
@@ -309,10 +315,37 @@ func (j *journal) append(c *Checkpoint, res Result) {
 	}
 	j.pending++
 	if j.pending >= j.flushEvery {
-		j.pending = 0
-		if err := j.f.Sync(); err != nil {
-			j.err = fmt.Errorf("sync: %w", err)
-		}
+		j.sync()
+	}
+}
+
+// sync flushes pending records to stable storage.
+func (j *journal) sync() {
+	flushed := j.pending
+	j.pending = 0
+	if err := j.f.Sync(); err != nil {
+		j.err = fmt.Errorf("sync: %w", err)
+		return
+	}
+	if j.syncHook != nil {
+		j.syncHook(flushed)
+	}
+}
+
+// drain hardens the journal for shutdown: records appended but not yet
+// fsynced are synced immediately, and every later append syncs as it
+// lands. The runner calls this the moment its context is cancelled, so
+// a campaign interrupted by SIGTERM has its completed trials durable
+// even if the process is killed for real while slow in-flight trials
+// are still draining — without it, up to FlushEvery-1 journaled results
+// would sit unsynced until Close.
+func (j *journal) drain() {
+	if j.err != nil || j.closed {
+		return
+	}
+	j.flushEvery = 1
+	if j.pending > 0 {
+		j.sync()
 	}
 }
 
@@ -320,10 +353,9 @@ func (j *journal) append(c *Checkpoint, res Result) {
 // first error the journal hit.
 func (j *journal) Close() error {
 	if j.err == nil && j.pending > 0 {
-		if err := j.f.Sync(); err != nil {
-			j.err = fmt.Errorf("sync: %w", err)
-		}
+		j.sync()
 	}
+	j.closed = true
 	if err := j.f.Close(); err != nil && j.err == nil {
 		j.err = fmt.Errorf("close: %w", err)
 	}

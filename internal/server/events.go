@@ -1,0 +1,114 @@
+package server
+
+import (
+	"sync"
+
+	"repro/ftsim/api"
+)
+
+// hubHistory bounds the per-job event replay buffer. Events older than
+// the window are evicted; a reconnecting client whose Last-Event-ID
+// fell off the window simply replays from the oldest retained event.
+const hubHistory = 4096
+
+// subBuffer is each subscriber's channel depth. A subscriber that falls
+// this far behind the live stream is evicted (its channel closes) for
+// every event kind except intervals, which are droppable progress
+// samples; evicted clients reconnect with Last-Event-ID and catch up
+// from history.
+const subBuffer = 256
+
+// hub is one job's event fan-out: an append-only, sequence-numbered
+// event log with bounded replay history and any number of live
+// subscribers. Publishing never blocks on slow consumers, so the
+// simulation observer tap stays cheap.
+type hub struct {
+	mu       sync.Mutex
+	job      string
+	seq      int64
+	history  []api.Event
+	firstSeq int64 // Seq of history[0]
+	subs     map[chan api.Event]struct{}
+	closed   bool
+}
+
+func newHub(job string) *hub {
+	return &hub{job: job, firstSeq: 1, subs: make(map[chan api.Event]struct{})}
+}
+
+// publish stamps the event with the job and the next sequence number,
+// records it in history, and fans it out. Interval events are dropped
+// for subscribers whose buffer is full; any other kind evicts such a
+// subscriber instead, so lifecycle and completion events are never
+// silently missing from a live stream.
+func (h *hub) publish(ev api.Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.seq++
+	ev.Seq = h.seq
+	ev.Job = h.job
+	h.history = append(h.history, ev)
+	if len(h.history) > hubHistory {
+		drop := len(h.history) - hubHistory
+		h.history = append(h.history[:0:0], h.history[drop:]...)
+		h.firstSeq += int64(drop)
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			if ev.Type == api.EventInterval {
+				continue
+			}
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// subscribe returns the retained events after sequence number `after`
+// plus a live channel for what follows. The channel is closed when the
+// hub closes (job reached a terminal state) or the subscriber is
+// evicted; cancel detaches early and is idempotent.
+func (h *hub) subscribe(after int64) (backlog []api.Event, ch chan api.Event, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if after < h.firstSeq-1 {
+		after = h.firstSeq - 1
+	}
+	if n := int(h.seq - after); n > 0 && len(h.history) >= n {
+		backlog = append(backlog, h.history[len(h.history)-n:]...)
+	}
+	ch = make(chan api.Event, subBuffer)
+	if h.closed {
+		close(ch)
+		return backlog, ch, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	return backlog, ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// close ends the stream: all subscriber channels close after the events
+// already published. Further publishes are no-ops.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}

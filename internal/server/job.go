@@ -1,0 +1,310 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/ftsim"
+	"repro/ftsim/api"
+)
+
+// job is one submitted campaign moving through the lifecycle state
+// machine (api.JobState). All mutable fields are guarded by the
+// server's mutex; the hub has its own lock and may be used without it.
+type job struct {
+	id        string
+	owner     string
+	name      string
+	req       *api.CampaignRequest
+	trials    []ftsim.Trial
+	submitted time.Time
+	hub       *hub
+
+	state      api.JobState
+	started    time.Time
+	finished   time.Time
+	done       int // completed trials, including resumed ones
+	failed     int
+	resumed    int
+	errMsg     string
+	statsJSON  []byte
+	cancelRun  context.CancelFunc // set while running
+	userCancel bool               // DELETE requested, vs. server drain
+}
+
+// status snapshots the job as a wire JobStatus. Caller holds s.mu.
+func (j *job) status() *api.JobStatus {
+	st := &api.JobStatus{
+		ID:        j.id,
+		Name:      j.name,
+		State:     j.state,
+		Owner:     j.owner,
+		Trials:    len(j.trials),
+		Done:      j.done,
+		Failed:    j.failed,
+		Resumed:   j.resumed,
+		Submitted: j.submitted,
+		Error:     j.errMsg,
+		Stats:     j.statsJSON,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// buildJob validates and resolves a submission into a runnable job.
+// Resolution is written back into the request — default benchmark,
+// default instruction budget, normalized configs, generated labels and
+// name — so the persisted envelope replays to the identical campaign
+// (same checkpoint-journal hash) on a daemon restart, even if the
+// server's defaults change in between.
+func (s *Server) buildJob(req *api.CampaignRequest, owner string) (*job, error) {
+	if len(req.Trials) == 0 {
+		return nil, errors.New("campaign has no trials")
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	programs := make(map[string]*ftsim.Program)
+	trials := make([]ftsim.Trial, len(req.Trials))
+	for i := range req.Trials {
+		ts := &req.Trials[i]
+		var prog *ftsim.Program
+		var err error
+		if ts.Asm != "" {
+			name := ts.Label
+			if name == "" {
+				name = fmt.Sprintf("asm-%d", i)
+			}
+			prog, err = ftsim.Assemble(name+".s", ts.Asm)
+		} else {
+			if ts.Benchmark == "" {
+				ts.Benchmark = s.cfg.DefaultBenchmark
+			}
+			if prog = programs[ts.Benchmark]; prog == nil {
+				prog, err = ftsim.Benchmark(ts.Benchmark)
+				programs[ts.Benchmark] = prog
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trial %d: %w", i, err)
+		}
+		cfg := ts.Config.Normalized()
+		if cfg.MaxInsts == 0 && cfg.MaxCycles == 0 {
+			// An unlimited run limit would let one benchmark trial hold a
+			// worker for 2^32 iterations; submitted configs without a
+			// budget take the server's.
+			cfg.MaxInsts = s.cfg.DefaultMaxInsts
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("trial %d: %w", i, err)
+		}
+		ts.Config = cfg
+		if ts.Label == "" {
+			ts.Label = fmt.Sprintf("%d/%s", i, prog.Name())
+		}
+		trials[i] = ftsim.Trial{Label: ts.Label, Config: cfg, Program: prog}
+	}
+	if req.Name == "" {
+		req.Name = trials[0].Program.Name()
+	}
+	return &job{
+		owner:  owner,
+		name:   req.Name,
+		req:    req,
+		trials: trials,
+		state:  api.StateQueued,
+	}, nil
+}
+
+// scheduler is one job-execution slot: it pulls queued jobs in
+// submission order until the server drains.
+func (s *Server) scheduler() {
+	defer s.wg.Done()
+	for {
+		j := s.nextQueued()
+		if j == nil {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// nextQueued blocks until a queued job is available (skipping jobs
+// cancelled while queued) or the server is draining, in which case it
+// returns nil.
+func (s *Server) nextQueued() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for len(s.fifo) > 0 {
+			j := s.fifo[0]
+			s.fifo = s.fifo[1:]
+			if j.state == api.StateQueued {
+				return j
+			}
+		}
+		if s.draining {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// isCancellation reports a context cancellation/deadline error.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// runJob executes one campaign: queued → running, then RunCampaign
+// with checkpointing, live progress and interval streaming, then the
+// terminal transition. A drain cancellation re-queues the job instead
+// of finishing it, so a restarted daemon resumes it from the journal.
+func (s *Server) runJob(j *job) {
+	ctx, cancel := context.WithCancel(s.runCtx)
+	defer cancel()
+
+	s.mu.Lock()
+	if j.state != api.StateQueued || s.draining {
+		s.mu.Unlock()
+		return
+	}
+	j.state = api.StateRunning
+	j.started = time.Now().UTC()
+	j.cancelRun = cancel
+	s.mu.Unlock()
+	j.hub.publish(api.Event{Type: api.EventState, State: api.StateRunning})
+
+	workers := j.req.Workers
+	if workers == 0 {
+		workers = s.cfg.WorkersPerJob
+	}
+	opts := []ftsim.CampaignOption{
+		ftsim.WithWorkers(workers),
+		ftsim.WithCampaignSeed(j.req.Seed),
+		ftsim.WithCampaignObserveEvery(s.cfg.ObserveEvery),
+		ftsim.WithCampaignObserver(func(trial int, label string, iv ftsim.Interval) {
+			j.hub.publish(api.Event{Type: api.EventInterval, Trial: trial, Label: label, Interval: &iv})
+		}),
+		ftsim.WithCampaignProgress(func(done, total int, r ftsim.TrialResult) {
+			s.mu.Lock()
+			j.done = done
+			if r.Err != nil && !isCancellation(r.Err) {
+				j.failed++
+			}
+			s.mu.Unlock()
+			ev := api.Event{
+				Type: api.EventTrial, Trial: r.Index, Label: r.Label,
+				Done: done, Total: total, Seconds: r.Elapsed.Seconds(),
+			}
+			if r.Err != nil {
+				ev.Err = r.Err.Error()
+			}
+			j.hub.publish(ev)
+		}),
+	}
+	if s.cfg.TrialTimeout > 0 {
+		opts = append(opts, ftsim.WithTrialTimeout(s.cfg.TrialTimeout))
+	}
+	if s.cfg.DataDir != "" {
+		opts = append(opts,
+			ftsim.WithCheckpoint(s.journalPath(j.id)),
+			ftsim.WithCheckpointFlushEvery(s.cfg.FlushEvery))
+	}
+
+	rep, err := ftsim.RunCampaign(ctx, j.id, j.trials, opts...)
+
+	s.mu.Lock()
+	j.cancelRun = nil
+	if rep != nil {
+		j.resumed = rep.Resumed
+		j.failed = len(rep.Failures())
+	}
+	switch {
+	case err == nil:
+		// Every trial completed (a fully resumed campaign never calls
+		// the progress callback, so count from the report, not from it).
+		j.done = len(rep.Results)
+		j.state = api.StateDone
+		if stats, cerr := ftsim.CollectStats(rep); cerr != nil {
+			j.state = api.StateFailed
+			j.errMsg = cerr.Error()
+		} else if data, merr := json.Marshal(stats); merr != nil {
+			j.state = api.StateFailed
+			j.errMsg = fmt.Sprintf("encoding stats: %v", merr)
+		} else {
+			j.statsJSON = data
+		}
+	case j.userCancel:
+		j.state = api.StateCancelled
+	case s.runCtx.Err() != nil:
+		// Server drain, not a client cancel: put the job back in queued
+		// state and stop. Its journal was flushed on the way out
+		// (fsync-on-drain), so a restarted daemon re-queues it and
+		// resumes the completed trials instead of re-running them.
+		j.state = api.StateQueued
+		j.started = time.Time{}
+		j.done, j.failed, j.resumed = 0, 0, 0
+		s.mu.Unlock()
+		s.logf("job %s: interrupted by drain; will resume on restart", j.id)
+		return
+	default:
+		j.state = api.StateFailed
+		j.errMsg = err.Error()
+	}
+	j.finished = time.Now().UTC()
+	final := j.status()
+	s.mu.Unlock()
+
+	if perr := s.persistDone(j, final); perr != nil {
+		s.logf("job %s: persisting completion: %v", j.id, perr)
+	}
+	s.logf("job %s (%s): %s (%d/%d trials, %d failed, %d resumed)",
+		j.id, j.name, final.State, final.Done, final.Trials, final.Failed, final.Resumed)
+	j.hub.publish(api.Event{Type: api.EventDone, State: final.State, Status: final})
+	j.hub.close()
+}
+
+// cancelJob handles DELETE: a queued job finishes immediately as
+// cancelled; a running one has its campaign context cancelled and
+// finishes when RunCampaign drains (journal flushed). Terminal jobs are
+// left as they are (idempotent cancel).
+func (s *Server) cancelJob(j *job) *api.JobStatus {
+	s.mu.Lock()
+	switch j.state {
+	case api.StateQueued:
+		j.state = api.StateCancelled
+		j.userCancel = true
+		j.finished = time.Now().UTC()
+		final := j.status()
+		s.mu.Unlock()
+		if perr := s.persistDone(j, final); perr != nil {
+			s.logf("job %s: persisting cancellation: %v", j.id, perr)
+		}
+		j.hub.publish(api.Event{Type: api.EventDone, State: final.State, Status: final})
+		j.hub.close()
+		return final
+	case api.StateRunning:
+		j.userCancel = true
+		cancel := j.cancelRun
+		st := j.status()
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return st
+	default:
+		st := j.status()
+		s.mu.Unlock()
+		return st
+	}
+}

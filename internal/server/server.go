@@ -1,0 +1,423 @@
+// Package server implements ftsimd: a campaign service over the
+// embeddable ftsim API. Clients POST campaign grids as JSON (the
+// ftsim.Config wire format), the server queues them onto job slots
+// backed by the campaign worker pool, streams per-interval progress
+// and per-trial completions over SSE, and journals completed trials to
+// a data directory so a restarted daemon resumes unfinished campaigns
+// where they stopped.
+//
+// Endpoints:
+//
+//	POST   /v1/campaigns             submit (api.CampaignRequest or bare ftsim.Config)
+//	GET    /v1/campaigns             list jobs, submission order
+//	GET    /v1/campaigns/{id}        status + aggregate stats when done
+//	GET    /v1/campaigns/{id}/events SSE stream (api.Event records)
+//	DELETE /v1/campaigns/{id}        cancel
+//	GET    /healthz                  liveness + queue depth
+//	GET    /version                  build metadata
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/ftsim"
+	"repro/ftsim/api"
+	"repro/internal/buildinfo"
+)
+
+// maxBodyBytes bounds submission bodies; a campaign grid of thousands
+// of trials fits comfortably.
+const maxBodyBytes = 16 << 20
+
+// Config parameterises a Server. The zero value is usable: an
+// ephemeral in-memory daemon with sane limits.
+type Config struct {
+	// DataDir is the persistence root (job envelopes, checkpoint
+	// journals, terminal records). Empty disables persistence — jobs
+	// then die with the process.
+	DataDir string
+	// MaxQueue bounds jobs waiting to run, across all clients
+	// (submissions beyond it fail with 503). <= 0 means 64.
+	MaxQueue int
+	// Concurrency is the number of jobs running simultaneously; each
+	// job parallelises internally over WorkersPerJob. <= 0 means 1.
+	Concurrency int
+	// WorkersPerJob is the default campaign worker-pool size per job
+	// (0 = GOMAXPROCS); a request's Workers field overrides it.
+	WorkersPerJob int
+	// MaxQueuedPerClient bounds one client's queued+running jobs
+	// (429 beyond it). <= 0 means 16.
+	MaxQueuedPerClient int
+	// MaxTrialsPerClient bounds one client's total trials across its
+	// queued and running jobs (429 beyond it). <= 0 means 1_000_000.
+	MaxTrialsPerClient int
+	// DefaultBenchmark is the workload of trials that name none.
+	// Empty means "gcc".
+	DefaultBenchmark string
+	// DefaultMaxInsts is the instruction budget applied to submitted
+	// configs with no run limits. <= 0 means 200_000.
+	DefaultMaxInsts uint64
+	// ObserveEvery is the SSE interval-sample period in simulated
+	// cycles. <= 0 means ftsim.DefaultObserveEvery.
+	ObserveEvery uint64
+	// FlushEvery is the checkpoint journal's fsync batch size. <= 0
+	// means 1: every completed trial is durable immediately, which is
+	// what a long-lived service wants.
+	FlushEvery int
+	// TrialTimeout, when positive, bounds each trial attempt.
+	TrialTimeout time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 1
+	}
+	if c.MaxQueuedPerClient <= 0 {
+		c.MaxQueuedPerClient = 16
+	}
+	if c.MaxTrialsPerClient <= 0 {
+		c.MaxTrialsPerClient = 1_000_000
+	}
+	if c.DefaultBenchmark == "" {
+		c.DefaultBenchmark = "gcc"
+	}
+	if c.DefaultMaxInsts == 0 {
+		c.DefaultMaxInsts = 200_000
+	}
+	if c.ObserveEvery == 0 {
+		c.ObserveEvery = ftsim.DefaultObserveEvery
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 1
+	}
+	return c
+}
+
+// Server is the campaign service: job table, bounded queue, scheduler
+// slots and the HTTP surface. Create with New, serve Handler, stop
+// with Drain.
+type Server struct {
+	cfg     Config
+	runCtx  context.Context
+	stopRun context.CancelFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*job
+	order    []string // submission order, for listing
+	fifo     []*job   // queued jobs awaiting a scheduler slot
+	draining bool
+
+	wg sync.WaitGroup // scheduler goroutines
+}
+
+// New builds a Server, recovers any persisted jobs from cfg.DataDir
+// (re-queueing interrupted ones), and starts the scheduler slots.
+func New(cfg Config) (*Server, error) {
+	s := &Server{cfg: cfg.withDefaults(), jobs: make(map[string]*job)}
+	s.cond = sync.NewCond(&s.mu)
+	s.runCtx, s.stopRun = context.WithCancel(context.Background())
+	if err := s.recover(); err != nil {
+		return nil, fmt.Errorf("server: recovering %s: %w", s.cfg.DataDir, err)
+	}
+	for i := 0; i < s.cfg.Concurrency; i++ {
+		s.wg.Add(1)
+		go s.scheduler()
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Drain gracefully shuts the server down: admission stops (503s),
+// queued jobs stay queued, and running campaigns are cancelled so they
+// flush their checkpoint journals and return — a restarted daemon
+// resumes them. Drain waits for the scheduler slots until ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.stopRun()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+}
+
+// newJobID mints a random, filesystem-safe job identifier.
+func newJobID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "c" + hex.EncodeToString(b[:])
+}
+
+// owner extracts the client identity a submission is accounted to.
+func owner(r *http.Request) string {
+	if tok := r.Header.Get("X-FTSim-Client"); tok != "" {
+		return tok
+	}
+	return "default"
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /version", s.handleVersion)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func fail(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, api.Error{Message: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit admits a campaign: parse, validate, quota-check,
+// persist, queue. 202 with the queued JobStatus on success.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		fail(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		return
+	}
+	req, err := api.ParseSubmission(body)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.buildJob(req, owner(r))
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		fail(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	queued, ownerJobs, ownerTrials := 0, 0, 0
+	for _, other := range s.jobs {
+		if other.state == api.StateQueued {
+			queued++
+		}
+		if other.owner == j.owner && !other.state.Terminal() {
+			ownerJobs++
+			ownerTrials += len(other.trials) - other.done
+		}
+	}
+	if queued >= s.cfg.MaxQueue {
+		s.mu.Unlock()
+		fail(w, http.StatusServiceUnavailable, "queue full (%d jobs queued)", queued)
+		return
+	}
+	if ownerJobs >= s.cfg.MaxQueuedPerClient {
+		s.mu.Unlock()
+		fail(w, http.StatusTooManyRequests,
+			"client %q has %d active jobs (limit %d)", j.owner, ownerJobs, s.cfg.MaxQueuedPerClient)
+		return
+	}
+	if ownerTrials+len(j.trials) > s.cfg.MaxTrialsPerClient {
+		s.mu.Unlock()
+		fail(w, http.StatusTooManyRequests,
+			"client %q would have %d trials in flight (limit %d)",
+			j.owner, ownerTrials+len(j.trials), s.cfg.MaxTrialsPerClient)
+		return
+	}
+
+	j.id = newJobID()
+	for s.jobs[j.id] != nil {
+		j.id = newJobID()
+	}
+	j.submitted = time.Now().UTC()
+	j.hub = newHub(j.id)
+	if err := s.persistEnvelope(j); err != nil {
+		s.mu.Unlock()
+		fail(w, http.StatusInternalServerError, "persisting job: %v", err)
+		return
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.fifo = append(s.fifo, j)
+	st := j.status()
+	s.mu.Unlock()
+	s.cond.Signal()
+
+	s.logf("job %s (%s): queued (%d trials, client %s)", j.id, j.name, st.Trials, j.owner)
+	j.hub.publish(api.Event{Type: api.EventState, State: api.StateQueued})
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// lookup resolves {id}; nil means the response was already written.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		fail(w, http.StatusNotFound, "no campaign %q", id)
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	st := j.status()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]*api.JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	st := s.cancelJob(j)
+	s.logf("job %s: cancel requested (state %s)", j.id, st.State)
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := api.Health{Status: "ok", Jobs: len(s.jobs)}
+	if s.draining {
+		h.Status = "draining"
+	}
+	for _, j := range s.jobs {
+		switch j.state {
+		case api.StateQueued:
+			h.Queued++
+		case api.StateRunning:
+			h.Running++
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	info := buildinfo.Get()
+	writeJSON(w, http.StatusOK, api.Version{
+		Version: info.Version, Revision: info.Revision, Dirty: info.Dirty, GoVersion: info.GoVersion,
+	})
+}
+
+// handleEvents streams a job's event log as SSE: retained history
+// after Last-Event-ID (all of it by default), then live events, until
+// the job reaches a terminal state or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		fail(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	var after int64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			fail(w, http.StatusBadRequest, "bad Last-Event-ID %q", v)
+			return
+		}
+		after = n
+	}
+
+	backlog, ch, cancel := j.hub.subscribe(after)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	write := func(ev api.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+		fl.Flush()
+		return ev.Type != api.EventDone
+	}
+	for _, ev := range backlog {
+		if !write(ev) {
+			return
+		}
+	}
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return // hub closed (terminal) or this subscriber was evicted
+			}
+			if !write(ev) {
+				return
+			}
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# smoke_ftsimd.sh — end-to-end smoke test for the ftsimd campaign
+# service, exercised through the real binaries the way an operator
+# would:
+#
+#   1. build ftsimd + ftsimc
+#   2. start a daemon on a random port, submit a tiny campaign from a
+#      ftsim/testdata golden config, stream its SSE feed to completion
+#   3. durability: submit a slow multi-trial campaign, SIGKILL the
+#      daemon mid-grid, restart it on the same data directory, and
+#      assert the resumed run's aggregate stats are byte-identical to
+#      an uninterrupted control run of the same submission
+#
+# Run from the repository root: scripts/smoke_ftsimd.sh
+set -euo pipefail
+
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+say() { echo "smoke: $*"; }
+die() { echo "smoke: FAIL: $*" >&2; exit 1; }
+
+# start_daemon <data-dir> — launches ftsimd on a random port; sets
+# $addr and $daemon_pid.
+start_daemon() {
+  "$work/ftsimd" -addr 127.0.0.1:0 -data-dir "$1" -flush-every 1 \
+    > "$work/addr.txt" 2>> "$work/daemon.log" &
+  daemon_pid=$!
+  for _ in $(seq 1 100); do
+    addr=$(head -1 "$work/addr.txt" 2>/dev/null || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  [ -n "$addr" ] || die "daemon never printed its address"
+  addr="http://$addr"
+}
+
+stop_daemon_hard() {
+  kill -9 "$daemon_pid" 2>/dev/null || true
+  wait "$daemon_pid" 2>/dev/null || true
+  daemon_pid=""
+}
+
+# wait_for <job-id> <grep-pattern> — polls ftsimc status until the
+# summary line matches.
+wait_for() {
+  for _ in $(seq 1 600); do
+    if "$work/ftsimc" -addr "$addr" status "$1" | grep -qE "$2"; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  die "job $1 never matched '$2'; last: $("$work/ftsimc" -addr "$addr" status "$1")"
+}
+
+say "building ftsimd and ftsimc"
+go build -o "$work" ./cmd/ftsimd ./cmd/ftsimc
+
+# ---------------------------------------------------------------- 1.
+# Tiny campaign from a golden config, SSE streamed to completion.
+say "phase 1: golden-config campaign over HTTP"
+start_daemon "$work/data1"
+config=$(ls ftsim/testdata/*.json | head -1)
+id=$("$work/ftsimc" -addr "$addr" submit -max-insts 5000 "$config")
+say "submitted $id from $config"
+"$work/ftsimc" -addr "$addr" watch "$id" > "$work/watch1.log"
+grep -q "state: running" "$work/watch1.log" || die "SSE stream carried no running state"
+grep -qE "  done  " <<< "$("$work/ftsimc" -addr "$addr" status "$id")" \
+  || die "phase-1 job did not finish: $("$work/ftsimc" -addr "$addr" status "$id")"
+"$work/ftsimc" -addr "$addr" status -stats "$id" > /dev/null || die "no stats on finished job"
+stop_daemon_hard
+
+# ---------------------------------------------------------------- 2.
+# Durability: kill the daemon mid-campaign, restart, compare against
+# an uninterrupted control run.
+say "phase 2: SIGKILL mid-campaign, restart, compare aggregates"
+cat > "$work/req.json" <<'EOF'
+{"name":"smoke-durability","seed":7,"workers":1,"trials":[
+EOF
+for i in 0 1 2 3 4 5; do
+  comma=$([ "$i" = 5 ] && echo "" || echo ",")
+  cat >> "$work/req.json" <<EOF
+ {"label":"t$i","asm":"li r1, 400000\nloop: addi r1, r1, -1\n bne r1, r0, loop\n halt\n","config":{"max_insts":99000000,"max_cycles":990000000}}$comma
+EOF
+done
+echo ']}' >> "$work/req.json"
+
+start_daemon "$work/data2"
+id=$("$work/ftsimc" -addr "$addr" submit "$work/req.json")
+say "submitted $id; waiting for a mid-grid snapshot"
+wait_for "$id" ' [1-5]/6 trials'
+say "killing daemon mid-campaign (SIGKILL)"
+stop_daemon_hard
+[ -s "$work/data2/$id.ckpt" ] || die "killed daemon left no checkpoint journal"
+[ ! -e "$work/data2/$id.done.json" ] || die "job finished before the kill; slow the trials down"
+
+say "restarting daemon on the same data dir"
+start_daemon "$work/data2"
+wait_for "$id" '  done  '
+"$work/ftsimc" -addr "$addr" status "$id" | grep -q 'resumed' \
+  || die "restarted job resumed nothing: $("$work/ftsimc" -addr "$addr" status "$id")"
+"$work/ftsimc" -addr "$addr" status -stats "$id" > "$work/resumed.json"
+stop_daemon_hard
+
+say "control: uninterrupted run of the same submission"
+start_daemon "$work/data3"
+id2=$("$work/ftsimc" -addr "$addr" submit "$work/req.json")
+"$work/ftsimc" -addr "$addr" watch "$id2" > /dev/null
+"$work/ftsimc" -addr "$addr" status -stats "$id2" > "$work/control.json"
+stop_daemon_hard
+
+if ! cmp -s "$work/resumed.json" "$work/control.json"; then
+  diff "$work/resumed.json" "$work/control.json" | head -40 >&2 || true
+  die "resumed aggregate stats differ from the uninterrupted run"
+fi
+say "resumed aggregate is byte-identical to the uninterrupted run"
+say "OK"
