@@ -12,12 +12,14 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/funcsim"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -208,7 +210,9 @@ func BenchmarkAblateCommitWidth(b *testing.B) {
 // with one worker versus GOMAXPROCS workers. The reported
 // "gridTrials/s" metric is the campaign throughput; on a multi-core
 // host the parallel case scales with the core count while producing
-// identical rows.
+// identical rows. The metrics sink is attached, so the recorded
+// trajectory numbers carry the cost of a fully instrumented engine —
+// the configuration the daemon actually runs.
 func BenchmarkCampaign(b *testing.B) {
 	// The parallel case is named without the worker count so recorded
 	// trajectories stay comparable across hosts (the bench-diff gate
@@ -223,9 +227,10 @@ func BenchmarkCampaign(b *testing.B) {
 	for _, c := range cases {
 		c := c
 		b.Run(c.name, func(b *testing.B) {
+			m := campaign.NewMetrics(obs.NewRegistry())
 			trials := 0
 			for i := 0; i < b.N; i++ {
-				rows, err := experiments.Fig5(experiments.Options{MaxInsts: 4_000, Parallel: c.workers})
+				rows, err := experiments.Fig5(experiments.Options{MaxInsts: 4_000, Parallel: c.workers, Metrics: m})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func main() {
 	trialTimeout := flag.Duration("trial-timeout", 0, "per-trial deadline (0 = none); timed-out trials fail without aborting the grid when -contain is set")
 	retries := flag.Int("retries", 0, "retry attempts for transient/timed-out trials")
 	contain := flag.Bool("contain", false, "keep a campaign running past trial failures; failed trials are listed in an error manifest")
+	metricsDump := flag.Bool("metrics-dump", false, "print campaign-engine metrics (Prometheus text) on stderr at exit")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -71,6 +73,11 @@ func main() {
 		TrialTimeout:  *trialTimeout,
 		Retries:       *retries,
 		Contain:       *contain,
+	}
+	var metricsReg *obs.Registry
+	if *metricsDump {
+		metricsReg = obs.NewRegistry()
+		opt.Metrics = campaign.NewMetrics(metricsReg)
 	}
 	if !*quiet {
 		opt.Progress = func(done, total int, r campaign.Result) {
@@ -183,5 +190,11 @@ func main() {
 			workers = runtime.GOMAXPROCS(0)
 		}
 		fmt.Fprintf(os.Stderr, "full evaluation in %.2fs with -parallel %d\n", time.Since(total).Seconds(), workers)
+	}
+	if metricsReg != nil {
+		fmt.Fprintln(os.Stderr, "# ftexp campaign metrics")
+		if err := metricsReg.WritePrometheus(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "ftexp: writing metrics: %v\n", err)
+		}
 	}
 }

@@ -35,10 +35,10 @@ func usage() {
 
 commands:
   submit [-name N] [-bench B] [-seed S] [-workers W] [-max-insts I] <config.json>...
-  status [-stats] <job-id>
+  status [-stats] [-o json] <job-id>
   watch  <job-id>
   cancel <job-id>
-  list
+  list   [-o json]
   version`)
 	os.Exit(2)
 }
@@ -164,12 +164,32 @@ func summarize(st *api.JobStatus) string {
 	return s
 }
 
+// printJSON writes v to stdout as indented JSON, for -o json output
+// that scripts pipe into jq.
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// checkOutput validates an -o flag value.
+func checkOutput(o string) error {
+	if o != "" && o != "json" {
+		return fmt.Errorf("bad -o %q (want json)", o)
+	}
+	return nil
+}
+
 func runStatus(ctx context.Context, c *client.Client, args []string) error {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
 	stats := fs.Bool("stats", false, "print the raw aggregate stats JSON instead of a summary")
+	output := fs.String("o", "", `output format: "json" prints the full JobStatus record`)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("status: want one job ID")
+	}
+	if err := checkOutput(*output); err != nil {
+		return fmt.Errorf("status: %w", err)
 	}
 	st, err := c.Status(ctx, fs.Arg(0))
 	if err != nil {
@@ -181,6 +201,9 @@ func runStatus(ctx context.Context, c *client.Client, args []string) error {
 		}
 		fmt.Println(string(st.Stats))
 		return nil
+	}
+	if *output == "json" {
+		return printJSON(st)
 	}
 	fmt.Println(summarize(st))
 	return nil
@@ -236,12 +259,21 @@ func runCancel(ctx context.Context, c *client.Client, args []string) error {
 }
 
 func runList(ctx context.Context, c *client.Client, args []string) error {
-	if len(args) != 0 {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	output := fs.String("o", "", `output format: "json" prints the full JobStatus records`)
+	fs.Parse(args)
+	if fs.NArg() != 0 {
 		return fmt.Errorf("list: no arguments")
+	}
+	if err := checkOutput(*output); err != nil {
+		return fmt.Errorf("list: %w", err)
 	}
 	jobs, err := c.List(ctx)
 	if err != nil {
 		return err
+	}
+	if *output == "json" {
+		return printJSON(jobs)
 	}
 	for _, st := range jobs {
 		fmt.Println(summarize(st))

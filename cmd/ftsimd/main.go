@@ -10,6 +10,11 @@
 //	ftsimd -addr :8080 -data-dir /var/lib/ftsimd
 //	ftsimd -addr 127.0.0.1:0 -jobs 2 -workers 4
 //
+// Observability: GET /metrics serves the Prometheus text exposition
+// (queue, job lifecycle, SSE hub, HTTP serving and campaign-engine
+// families), -pprof mounts net/http/pprof under /debug/pprof/, and
+// operational logs are structured (-log-format text|json, -log-level).
+//
 // SIGINT/SIGTERM drain gracefully: admission stops, running campaigns
 // flush their checkpoint journals and return, queued jobs stay queued
 // for the next start.
@@ -19,9 +24,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +36,24 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/server"
 )
+
+// newLogger builds the daemon logger from the -log-format and
+// -log-level flags.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
@@ -45,6 +69,9 @@ func main() {
 	flushEvery := flag.Int("flush-every", 1, "checkpoint fsync batch size (1 = every completed trial is durable)")
 	trialTimeout := flag.Duration("trial-timeout", 0, "per-trial deadline (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before the process gives up waiting")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -52,7 +79,15 @@ func main() {
 		buildinfo.Print(os.Stdout, "ftsimd")
 		return
 	}
-	logger := log.New(os.Stderr, "ftsimd: ", log.LstdFlags)
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftsimd: %v\n", err)
+		os.Exit(2)
+	}
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
 
 	s, err := server.New(server.Config{
 		DataDir:            *dataDir,
@@ -66,22 +101,35 @@ func main() {
 		ObserveEvery:       *observeEvery,
 		FlushEvery:         *flushEvery,
 		TrialTimeout:       *trialTimeout,
-		Logf:               logger.Printf,
+		Logger:             logger,
 	})
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 	// Print the resolved address on stdout so scripts using port 0 can
 	// discover where the daemon landed.
 	fmt.Println(ln.Addr().String())
-	logger.Printf("listening on %s (data-dir %q, %d job slot(s))", ln.Addr(), *dataDir, *jobs)
+	logger.Info("listening", "addr", ln.Addr().String(), "data_dir", *dataDir, "slots", *jobs, "pprof", *pprofOn)
 
-	httpSrv := &http.Server{Handler: s.Handler()}
+	// The service handler carries its own middleware (request IDs,
+	// /metrics); pprof mounts outside it so profile downloads don't
+	// skew the request histograms.
+	root := http.NewServeMux()
+	root.Handle("/", s.Handler())
+	if *pprofOn {
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	httpSrv := &http.Server{Handler: root}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -90,9 +138,9 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		logger.Printf("shutdown signal; draining (budget %s)", *drainTimeout)
+		logger.Info("shutdown signal; draining", "budget", *drainTimeout)
 	case err := <-errc:
-		logger.Fatal(err)
+		fatal(err)
 	}
 
 	// Stop accepting connections, then drain the job engine: running
@@ -100,11 +148,11 @@ func main() {
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(dctx); err != nil {
-		logger.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	if err := s.Drain(dctx); err != nil {
-		logger.Printf("%v", err)
+		logger.Error("drain failed", "err", err)
 		os.Exit(1)
 	}
-	logger.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 }

@@ -193,12 +193,28 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("ftsimd: %s (HTTP %d)", e.Message, e.StatusCode)
 }
 
-// Health is the GET /healthz response body.
+// Health is the GET /healthz response body: liveness (the daemon
+// answered) plus readiness. Status is "ok", "degraded" (data dir not
+// writable) or "draining"; the latter two arrive with HTTP 503 so load
+// balancers rotate clients away before submissions start failing.
 type Health struct {
 	Status  string `json:"status"`
 	Jobs    int    `json:"jobs"`
 	Queued  int    `json:"queued"`
 	Running int    `json:"running"`
+
+	// Slots is the configured job concurrency; SlotsInUse the slots
+	// currently occupied by running jobs.
+	Slots      int `json:"slots,omitempty"`
+	SlotsInUse int `json:"slots_in_use"`
+	// Draining reports a shutdown in progress: admission is closed,
+	// running jobs are flushing their journals.
+	Draining bool `json:"draining,omitempty"`
+	// DataDir and DataDirWritable report the persistence root and
+	// whether the daemon can still create files there (nil when the
+	// daemon is ephemeral).
+	DataDir         string `json:"data_dir,omitempty"`
+	DataDirWritable *bool  `json:"data_dir_writable,omitempty"`
 }
 
 // Version is the GET /version response body.

@@ -70,6 +70,7 @@ type campaignOpts struct {
 	retries      int
 	backoff      time.Duration
 	failFast     bool
+	metrics      *campaign.Metrics
 }
 
 // WithWorkers sets the worker-pool size (0 = GOMAXPROCS, 1 = serial).
@@ -213,6 +214,7 @@ func RunCampaign(ctx context.Context, name string, trials []Trial, opts ...Campa
 		TrialTimeout: o.trialTimeout,
 		Retries:      o.retries,
 		RetryBackoff: o.backoff,
+		Metrics:      o.metrics,
 	}
 	if o.checkpoint != "" {
 		hash, err := campaignHash(trials)

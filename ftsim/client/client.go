@@ -138,11 +138,31 @@ func (c *Client) Cancel(ctx context.Context, id string) (*api.JobStatus, error) 
 	return &st, nil
 }
 
-// Health fetches the daemon's liveness summary.
+// Health fetches the daemon's liveness + readiness summary. A
+// not-ready daemon (draining, degraded) answers 503 with a valid
+// Health body; that body is returned with a nil error — readiness
+// lives in Health.Status, a non-nil error means the daemon could not
+// be asked at all.
 func (c *Client) Health(ctx context.Context) (*api.Health, error) {
-	var h api.Health
-	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
 		return nil, err
+	}
+	if c.Token != "" {
+		req.Header.Set("X-FTSim-Client", c.Token)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	var h api.Health
+	if jerr := json.Unmarshal(data, &h); jerr != nil || h.Status == "" {
+		return nil, decodeError(resp.StatusCode, data)
 	}
 	return &h, nil
 }

@@ -1,9 +1,11 @@
 package client_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -15,12 +17,20 @@ import (
 	"repro/internal/server"
 )
 
+// tWriter adapts t.Logf into an io.Writer for a slog handler.
+type tWriter struct{ t *testing.T }
+
+func (w tWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
 // startDaemon runs an in-process ftsimd and returns a client bound to
 // it.
 func startDaemon(t *testing.T, cfg server.Config) *client.Client {
 	t.Helper()
-	if cfg.Logf == nil {
-		cfg.Logf = t.Logf
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(tWriter{t}, nil))
 	}
 	s, err := server.New(cfg)
 	if err != nil {

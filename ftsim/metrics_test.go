@@ -1,0 +1,82 @@
+package ftsim_test
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/ftsim"
+)
+
+// TestMetricsSinkDoesNotPerturb: the observability tap must be exactly
+// that — a campaign run with WithMetricsSink produces byte-identical
+// aggregate statistics to a run without it (the same invariant
+// TestObserverDoesNotPerturb asserts for interval observers). The
+// instrumented run goes through the full surface — checkpoint journal,
+// observer, metrics — to tap every instrumented path at once.
+func TestMetricsSinkDoesNotPerturb(t *testing.T) {
+	trials := campaignGrid(t)
+
+	plain, err := ftsim.RunCampaign(context.Background(), "tap", trials,
+		ftsim.WithWorkers(2), ftsim.WithCampaignSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ftsim.CollectStats(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := ftsim.NewMetricsRegistry()
+	m := ftsim.NewCampaignMetrics(reg)
+	tapped, err := ftsim.RunCampaign(context.Background(), "tap", trials,
+		ftsim.WithWorkers(2), ftsim.WithCampaignSeed(5),
+		ftsim.WithMetricsSink(m),
+		ftsim.WithCheckpoint(filepath.Join(t.TempDir(), "tap.ckpt")),
+		ftsim.WithCampaignObserveEvery(500),
+		ftsim.WithCampaignObserver(func(int, string, ftsim.Interval) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ftsim.CollectStats(tapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte-identical, in the same JSON codec the daemon persists and
+	// serves: any drift at all is a perturbation.
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Errorf("metrics tap perturbed campaign statistics:\nwith:    %s\nwithout: %s",
+			gotJSON, wantJSON)
+	}
+
+	// And the tap did record: every trial completed ok, durations
+	// observed, journal synced.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	wantLines := []string{
+		`ftsim_trials_total{outcome="ok"} 4`,
+		`ftsim_trial_seconds_count{outcome="ok"} 4`,
+	}
+	for _, line := range wantLines {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("metrics exposition missing %q:\n%s", line, out)
+		}
+	}
+	if !strings.Contains(out, "ftsim_checkpoint_syncs_total ") {
+		t.Errorf("metrics exposition missing checkpoint sync counter:\n%s", out)
+	}
+}

@@ -291,6 +291,13 @@ type Runner struct {
 	// resumes a matching journal: already-recorded trials are restored
 	// into the report instead of re-run.
 	Checkpoint *Checkpoint
+
+	// Metrics, when non-nil, receives the runner's instrumentation:
+	// trial durations and outcomes, retry counts, resumed trials, and
+	// checkpoint fsync activity. A pure tap — results are identical
+	// with and without it — that may be shared across concurrent
+	// campaigns.
+	Metrics *Metrics
 }
 
 // batch resolves the dispatch batch size for n trials over w workers.
@@ -341,7 +348,7 @@ func (r Runner) Run(ctx context.Context, spec Spec) (*Report, error) {
 	if r.Checkpoint != nil {
 		var resumed []Result
 		var err error
-		jw, resumed, err = r.Checkpoint.open(spec)
+		jw, resumed, err = r.Checkpoint.open(spec, r.Metrics)
 		if err != nil {
 			return nil, err
 		}
@@ -351,6 +358,7 @@ func (r Runner) Run(ctx context.Context, spec Spec) (*Report, error) {
 			rep.Results[res.Index] = res
 		}
 		rep.Resumed = len(resumed)
+		r.Metrics.trialsResumed(rep.Resumed)
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -402,6 +410,7 @@ func (r Runner) Run(ctx context.Context, spec Spec) (*Report, error) {
 					mu.Lock()
 					done++
 					rep.TrialSeconds.Add(res.Elapsed.Seconds())
+					r.Metrics.trialFinished(outcomeOf(res.Err), res.Elapsed.Seconds(), res.Attempts)
 					if jw != nil && res.Err == nil {
 						jw.append(r.Checkpoint, res)
 					}

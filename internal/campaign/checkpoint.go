@@ -169,7 +169,7 @@ func trialFrame(res Result, value []byte) []byte {
 // header, converts the journal's valid prefix into resumed Results,
 // truncates any torn tail, and returns a writer positioned for
 // appending. A mismatched journal returns *CheckpointMismatchError.
-func (c *Checkpoint) open(spec Spec) (*journal, []Result, error) {
+func (c *Checkpoint) open(spec Spec, m *Metrics) (*journal, []Result, error) {
 	if c.Path == "" {
 		return nil, nil, errors.New("campaign: checkpoint has no path")
 	}
@@ -186,7 +186,7 @@ func (c *Checkpoint) open(spec Spec) (*journal, []Result, error) {
 		return nil, nil, fmt.Errorf("campaign: checkpoint %s: read: %w", c.Path, err)
 	}
 	hdr, recs, valid := parseJournal(data)
-	j := &journal{f: f, flushEvery: c.FlushEvery, syncHook: c.syncHook}
+	j := &journal{f: f, flushEvery: c.FlushEvery, syncHook: c.syncHook, metrics: m}
 	if j.flushEvery <= 0 {
 		j.flushEvery = 32
 	}
@@ -276,12 +276,14 @@ func (c *Checkpoint) resume(spec Spec, hdr *journalHeader, recs []journalRecord)
 // writing and Close reports the failure — the campaign keeps running
 // (results in memory are unaffected), it just loses durability.
 type journal struct {
-	f          *os.File
-	flushEvery int
-	pending    int
-	closed     bool
-	err        error
-	syncHook   func(flushed int)
+	f            *os.File
+	flushEvery   int
+	pending      int
+	pendingBytes int64
+	closed       bool
+	err          error
+	syncHook     func(flushed int)
+	metrics      *Metrics
 }
 
 // reset truncates the file and writes a fresh header, synced.
@@ -295,7 +297,11 @@ func (j *journal) reset(header []byte) error {
 	if _, err := j.f.Write(header); err != nil {
 		return err
 	}
-	return j.f.Sync()
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.metrics.checkpointSynced(0, int64(len(header)))
+	return nil
 }
 
 // append journals one successful trial. The caller serialises calls
@@ -309,11 +315,13 @@ func (j *journal) append(c *Checkpoint, res Result) {
 		j.err = fmt.Errorf("encode trial %d: %w", res.Index, err)
 		return
 	}
-	if _, err := j.f.Write(trialFrame(res, value)); err != nil {
+	fr := trialFrame(res, value)
+	if _, err := j.f.Write(fr); err != nil {
 		j.err = fmt.Errorf("append trial %d: %w", res.Index, err)
 		return
 	}
 	j.pending++
+	j.pendingBytes += int64(len(fr))
 	if j.pending >= j.flushEvery {
 		j.sync()
 	}
@@ -321,12 +329,13 @@ func (j *journal) append(c *Checkpoint, res Result) {
 
 // sync flushes pending records to stable storage.
 func (j *journal) sync() {
-	flushed := j.pending
-	j.pending = 0
+	flushed, flushedBytes := j.pending, j.pendingBytes
+	j.pending, j.pendingBytes = 0, 0
 	if err := j.f.Sync(); err != nil {
 		j.err = fmt.Errorf("sync: %w", err)
 		return
 	}
+	j.metrics.checkpointSynced(flushed, flushedBytes)
 	if j.syncHook != nil {
 		j.syncHook(flushed)
 	}

@@ -77,6 +77,7 @@ func runCampaign(name string, trials []campaign.Trial, group func(int) int, code
 		Contain:      opt.Contain,
 		TrialTimeout: opt.TrialTimeout,
 		Retries:      opt.Retries,
+		Metrics:      opt.Metrics,
 	}
 	if opt.CheckpointDir != "" {
 		path := filepath.Join(opt.CheckpointDir, name+".ckpt")

@@ -46,6 +46,11 @@ type Options struct {
 	// Report, when non-nil, receives each finished campaign's report
 	// (worker count, wall time, streaming trial-time aggregates).
 	Report func(*campaign.Report)
+	// Metrics, when non-nil, receives campaign instrumentation (trial
+	// durations and outcomes, retries, checkpoint fsyncs) for every
+	// experiment run under these options. A pure tap: results are
+	// identical with and without it.
+	Metrics *campaign.Metrics
 
 	// CheckpointDir, when non-empty, journals each campaign's completed
 	// trials to <dir>/<campaign>.ckpt so a killed run can resume. A

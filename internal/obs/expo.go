@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the Prometheus text format
+// (version 0.0.4), families sorted by name and series by label tuple,
+// so output is deterministic and diff-friendly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		writeFamily(bw, f)
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry as GET /metrics content.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+func writeFamily(w *bufio.Writer, f *family) {
+	keys, vals := f.sortedSeries()
+	if len(keys) == 0 {
+		return // a family with no series yet exposes nothing
+	}
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteString("\n# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind.String())
+	w.WriteByte('\n')
+	for i, key := range keys {
+		values := splitKey(key, len(f.labels))
+		switch s := vals[i].(type) {
+		case *Counter:
+			writeSample(w, f.name, "", f.labels, values, "", "", formatUint(s.Value()))
+		case *Gauge:
+			writeSample(w, f.name, "", f.labels, values, "", "", strconv.FormatInt(s.Value(), 10))
+		case *Histogram:
+			cum := uint64(0)
+			for bi, bound := range s.bounds {
+				cum += s.counts[bi].Load()
+				writeSample(w, f.name, "_bucket", f.labels, values,
+					"le", formatFloat(bound), formatUint(cum))
+			}
+			cum += s.counts[len(s.bounds)].Load()
+			writeSample(w, f.name, "_bucket", f.labels, values, "le", "+Inf", formatUint(cum))
+			writeSample(w, f.name, "_sum", f.labels, values, "", "", formatFloat(s.Sum()))
+			writeSample(w, f.name, "_count", f.labels, values, "", "", formatUint(s.Count()))
+		}
+	}
+}
+
+// writeSample emits one exposition line:
+// name[suffix]{labels...[,extraName="extraVal"]} value
+func writeSample(w *bufio.Writer, name, suffix string, labels, values []string, extraName, extraVal, sample string) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if len(labels) > 0 || extraName != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraName)
+			w.WriteString(`="`)
+			w.WriteString(extraVal)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(sample)
+	w.WriteByte('\n')
+}
+
+func splitKey(key string, n int) []string {
+	if n == 0 {
+		return nil
+	}
+	return strings.SplitN(key, "\xff", n)
+}
+
+func formatUint(v uint64) string {
+	return strconv.FormatUint(v, 10)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

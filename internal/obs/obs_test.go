@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeBasics: counters accumulate, gauges move both ways,
+// label tuples resolve to distinct series and With is stable.
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("reqs_total", "requests", "route")
+	a, b := c.With("/a"), c.With("/b")
+	a.Inc()
+	a.Add(2)
+	b.Inc()
+	if a.Value() != 3 || b.Value() != 1 {
+		t.Fatalf("counter values: a=%d b=%d, want 3, 1", a.Value(), b.Value())
+	}
+	if c.With("/a") != a {
+		t.Fatal("With is not stable for equal label values")
+	}
+
+	g := r.NewGauge("depth", "queue depth")
+	q := g.With()
+	q.Inc()
+	q.Inc()
+	q.Dec()
+	q.Add(5)
+	if q.Value() != 6 {
+		t.Fatalf("gauge value %d, want 6", q.Value())
+	}
+	q.Set(-2)
+	if q.Value() != -2 {
+		t.Fatalf("gauge value %d, want -2", q.Value())
+	}
+}
+
+// TestRegistrationIdempotent: re-registering the same shape returns the
+// same family; a different shape panics.
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.NewCounter("x_total", "x", "l")
+	c2 := r.NewCounter("x_total", "x", "l")
+	c1.With("v").Inc()
+	if c2.With("v").Value() != 1 {
+		t.Fatal("re-registration did not return the same family")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	r.NewGauge("x_total", "x", "l")
+}
+
+// TestHistogramBuckets: observations land in the right cumulative
+// buckets, sum and count track, and out-of-range values go to +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "latency", []float64{0.1, 1, 10}).With()
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+5+50; got != want {
+		t.Fatalf("sum %v, want %v", got, want)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		`lat_seconds_bucket{le="0.1"} 2`, // 0.05 and 0.1 (le is inclusive)
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+// TestExposition: full text-format rendering — HELP/TYPE headers,
+// sorted families and series, label escaping, empty families omitted.
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("b_total", "second family", "who").With(`we "quote" \slash`).Add(7)
+	r.NewGauge("a_gauge", "first family").With().Set(3)
+	r.NewCounter("never_used_total", "no series") // no With: must not appear
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+
+	want := "# HELP a_gauge first family\n" +
+		"# TYPE a_gauge gauge\n" +
+		"a_gauge 3\n" +
+		"# HELP b_total second family\n" +
+		"# TYPE b_total counter\n" +
+		`b_total{who="we \"quote\" \\slash"} 7` + "\n"
+	if out != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+// TestConcurrentUpdates: instruments under concurrent writers neither
+// race (run with -race) nor lose updates.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("n_total", "n").With()
+	h := r.NewHistogram("h_seconds", "h", []float64{1}).With()
+	g := r.NewGauge("g", "g").With()
+	var wg sync.WaitGroup
+	const workers, each = 8, 10_000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*each {
+		t.Errorf("counter lost updates: %d, want %d", c.Value(), workers*each)
+	}
+	if g.Value() != workers*each {
+		t.Errorf("gauge lost updates: %d, want %d", g.Value(), workers*each)
+	}
+	if h.Count() != workers*each || h.Sum() != 0.5*workers*each {
+		t.Errorf("histogram lost updates: count %d sum %v", h.Count(), h.Sum())
+	}
+}
+
+// TestLabelArityPanics: wrong label count is a programming error.
+func TestLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("l_total", "l", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	c.With("only-one")
+}

@@ -25,6 +25,7 @@ const subBuffer = 256
 type hub struct {
 	mu       sync.Mutex
 	job      string
+	m        *sseMetrics // shared across a server's hubs; nil disables recording
 	seq      int64
 	history  []api.Event
 	firstSeq int64 // Seq of history[0]
@@ -32,8 +33,8 @@ type hub struct {
 	closed   bool
 }
 
-func newHub(job string) *hub {
-	return &hub{job: job, firstSeq: 1, subs: make(map[chan api.Event]struct{})}
+func newHub(job string, m *sseMetrics) *hub {
+	return &hub{job: job, m: m, firstSeq: 1, subs: make(map[chan api.Event]struct{})}
 }
 
 // publish stamps the event with the job and the next sequence number,
@@ -56,15 +57,25 @@ func (h *hub) publish(ev api.Event) {
 		h.history = append(h.history[:0:0], h.history[drop:]...)
 		h.firstSeq += int64(drop)
 	}
+	if h.m != nil {
+		h.m.published.Inc()
+	}
 	for ch := range h.subs {
 		select {
 		case ch <- ev:
 		default:
 			if ev.Type == api.EventInterval {
+				if h.m != nil {
+					h.m.droppedIntervals.Inc()
+				}
 				continue
 			}
 			delete(h.subs, ch)
 			close(ch)
+			if h.m != nil {
+				h.m.evictions.Inc()
+				h.m.subscribers.Dec()
+			}
 		}
 	}
 }
@@ -77,10 +88,19 @@ func (h *hub) subscribe(after int64) (backlog []api.Event, ch chan api.Event, ca
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if after < h.firstSeq-1 {
+		// The subscriber asked for events that already fell off the
+		// bounded history; they are gone, and the dropped-replay counter
+		// is the only remaining evidence.
+		if h.m != nil {
+			h.m.droppedReplays.Add(uint64(h.firstSeq - 1 - after))
+		}
 		after = h.firstSeq - 1
 	}
 	if n := int(h.seq - after); n > 0 && len(h.history) >= n {
 		backlog = append(backlog, h.history[len(h.history)-n:]...)
+	}
+	if h.m != nil {
+		h.m.replayed.Add(uint64(len(backlog)))
 	}
 	ch = make(chan api.Event, subBuffer)
 	if h.closed {
@@ -88,12 +108,18 @@ func (h *hub) subscribe(after int64) (backlog []api.Event, ch chan api.Event, ca
 		return backlog, ch, func() {}
 	}
 	h.subs[ch] = struct{}{}
+	if h.m != nil {
+		h.m.subscribers.Inc()
+	}
 	return backlog, ch, func() {
 		h.mu.Lock()
 		defer h.mu.Unlock()
 		if _, ok := h.subs[ch]; ok {
 			delete(h.subs, ch)
 			close(ch)
+			if h.m != nil {
+				h.m.subscribers.Dec()
+			}
 		}
 	}
 }
@@ -110,5 +136,8 @@ func (h *hub) close() {
 	for ch := range h.subs {
 		delete(h.subs, ch)
 		close(ch)
+		if h.m != nil {
+			h.m.subscribers.Dec()
+		}
 	}
 }

@@ -181,7 +181,14 @@ func (s *Server) runJob(j *job) {
 	j.state = api.StateRunning
 	j.started = time.Now().UTC()
 	j.cancelRun = cancel
+	s.m.queueDepth.Dec()
+	s.m.running.Inc()
+	s.m.queueWait.Observe(j.started.Sub(j.submitted).Seconds())
 	s.mu.Unlock()
+	jlog := s.logger.With("job", j.id)
+	ctx = withLogger(ctx, jlog)
+	jlog.Info("job running", "name", j.name, "trials", len(j.trials),
+		"queue_wait", j.started.Sub(j.submitted))
 	j.hub.publish(api.Event{Type: api.EventState, State: api.StateRunning})
 
 	workers := j.req.Workers
@@ -191,6 +198,7 @@ func (s *Server) runJob(j *job) {
 	opts := []ftsim.CampaignOption{
 		ftsim.WithWorkers(workers),
 		ftsim.WithCampaignSeed(j.req.Seed),
+		ftsim.WithMetricsSink(s.m.campaign),
 		ftsim.WithCampaignObserveEvery(s.cfg.ObserveEvery),
 		ftsim.WithCampaignObserver(func(trial int, label string, iv ftsim.Interval) {
 			j.hub.publish(api.Event{Type: api.EventInterval, Trial: trial, Label: label, Interval: &iv})
@@ -225,6 +233,7 @@ func (s *Server) runJob(j *job) {
 
 	s.mu.Lock()
 	j.cancelRun = nil
+	s.m.running.Dec()
 	if rep != nil {
 		j.resumed = rep.Resumed
 		j.failed = len(rep.Failures())
@@ -254,22 +263,25 @@ func (s *Server) runJob(j *job) {
 		j.state = api.StateQueued
 		j.started = time.Time{}
 		j.done, j.failed, j.resumed = 0, 0, 0
+		s.m.queueDepth.Inc()
 		s.mu.Unlock()
-		s.logf("job %s: interrupted by drain; will resume on restart", j.id)
+		jlog.Info("job interrupted by drain; will resume on restart")
 		return
 	default:
 		j.state = api.StateFailed
 		j.errMsg = err.Error()
 	}
 	j.finished = time.Now().UTC()
+	s.m.finished.With(string(j.state)).Inc()
 	final := j.status()
 	s.mu.Unlock()
 
 	if perr := s.persistDone(j, final); perr != nil {
-		s.logf("job %s: persisting completion: %v", j.id, perr)
+		jlog.Error("persisting completion failed", "err", perr)
 	}
-	s.logf("job %s (%s): %s (%d/%d trials, %d failed, %d resumed)",
-		j.id, j.name, final.State, final.Done, final.Trials, final.Failed, final.Resumed)
+	jlog.Info("job finished", "name", j.name, "state", final.State,
+		"done", final.Done, "trials", final.Trials,
+		"failed", final.Failed, "resumed", final.Resumed)
 	j.hub.publish(api.Event{Type: api.EventDone, State: final.State, Status: final})
 	j.hub.close()
 }
@@ -285,10 +297,12 @@ func (s *Server) cancelJob(j *job) *api.JobStatus {
 		j.state = api.StateCancelled
 		j.userCancel = true
 		j.finished = time.Now().UTC()
+		s.m.queueDepth.Dec()
+		s.m.finished.With(string(j.state)).Inc()
 		final := j.status()
 		s.mu.Unlock()
 		if perr := s.persistDone(j, final); perr != nil {
-			s.logf("job %s: persisting cancellation: %v", j.id, perr)
+			s.logger.Error("persisting cancellation failed", "job", j.id, "err", perr)
 		}
 		j.hub.publish(api.Event{Type: api.EventDone, State: final.State, Status: final})
 		j.hub.close()

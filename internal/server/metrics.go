@@ -1,0 +1,171 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/ftsim"
+	"repro/internal/obs"
+)
+
+// metrics is the daemon's instrument set, registered once per Server on
+// its obs.Registry and exposed on GET /metrics. Campaign-engine
+// instruments (ftsim_*) are wired into every job's RunCampaign via
+// ftsim.WithMetricsSink; the ftsimd_* families below cover what the
+// engine cannot see: the job queue, the SSE fan-out and HTTP serving.
+type metrics struct {
+	reg      *obs.Registry
+	campaign *ftsim.CampaignMetrics
+
+	// Job lifecycle.
+	queueDepth *obs.Gauge     // jobs waiting for a scheduler slot
+	running    *obs.Gauge     // jobs holding a scheduler slot
+	queueWait  *obs.Histogram // submission-to-start latency
+	submitted  *obs.Counter
+	finished   *obs.CounterVec // terminal state: done|failed|cancelled
+	rejections *obs.CounterVec // reason: queue_full|client_jobs|client_trials|draining
+
+	// HTTP serving.
+	httpRequests *obs.CounterVec   // route, code
+	httpSeconds  *obs.HistogramVec // route
+
+	sse sseMetrics
+}
+
+// sseMetrics instruments the per-job event hubs. One instance is shared
+// by every hub of a Server; a nil *sseMetrics (hubs built outside a
+// Server, e.g. in tests) disables recording.
+type sseMetrics struct {
+	subscribers      *obs.Gauge
+	published        *obs.Counter
+	replayed         *obs.Counter // history events handed to (re)connecting subscribers
+	droppedReplays   *obs.Counter // events lost to reconnects past the bounded history
+	evictions        *obs.Counter // slow subscribers force-closed
+	droppedIntervals *obs.Counter // interval samples dropped for full subscriber buffers
+}
+
+// queueWaitBuckets spans ms (idle daemon) to many minutes (saturated
+// queue, or jobs re-queued across a restart).
+var queueWaitBuckets = []float64{0.001, 0.01, 0.1, 0.5, 1, 5, 15, 60, 300, 1800, 7200}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		reg:      reg,
+		campaign: ftsim.NewCampaignMetrics(reg),
+
+		queueDepth: reg.NewGauge("ftsimd_queue_depth",
+			"Jobs queued and waiting for a scheduler slot.").With(),
+		running: reg.NewGauge("ftsimd_jobs_running",
+			"Jobs currently holding a scheduler slot.").With(),
+		queueWait: reg.NewHistogram("ftsimd_queue_wait_seconds",
+			"Time from job submission to its campaign starting.", queueWaitBuckets).With(),
+		submitted: reg.NewCounter("ftsimd_jobs_submitted_total",
+			"Jobs admitted past validation and quota checks.").With(),
+		finished: reg.NewCounter("ftsimd_jobs_total",
+			"Jobs by terminal state.", "state"),
+		rejections: reg.NewCounter("ftsimd_quota_rejections_total",
+			"Submissions rejected by admission control.", "reason"),
+
+		httpRequests: reg.NewCounter("ftsimd_http_requests_total",
+			"HTTP requests by route pattern and status code.", "route", "code"),
+		httpSeconds: reg.NewHistogram("ftsimd_http_request_seconds",
+			"HTTP request latency by route pattern.", obs.HTTPSecondsBuckets, "route"),
+
+		sse: sseMetrics{
+			subscribers: reg.NewGauge("ftsimd_sse_subscribers",
+				"Live SSE subscribers across all job streams.").With(),
+			published: reg.NewCounter("ftsimd_sse_published_events_total",
+				"Events published to job streams.").With(),
+			replayed: reg.NewCounter("ftsimd_sse_replayed_events_total",
+				"Retained events replayed to (re)connecting subscribers.").With(),
+			droppedReplays: reg.NewCounter("ftsimd_sse_dropped_replay_events_total",
+				"Events a reconnecting subscriber asked for that had aged out of the bounded history.").With(),
+			evictions: reg.NewCounter("ftsimd_sse_evictions_total",
+				"Slow subscribers evicted for falling a full buffer behind the live stream.").With(),
+			droppedIntervals: reg.NewCounter("ftsimd_sse_dropped_interval_events_total",
+				"Interval samples dropped for individual slow subscribers.").With(),
+		},
+	}
+}
+
+// ctxKeyLogger carries the request- or job-scoped logger.
+type ctxKeyLogger struct{}
+
+// withLogger attaches l to ctx; s.log retrieves it.
+func withLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, ctxKeyLogger{}, l)
+}
+
+// log returns the logger scoped to ctx (request ID, job ID attached by
+// the middleware / scheduler), or the server's base logger.
+func (s *Server) log(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(ctxKeyLogger{}).(*slog.Logger); ok {
+		return l
+	}
+	return s.logger
+}
+
+// newRequestID mints a short random request identifier.
+func newRequestID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "r" + hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the response status and size for the HTTP
+// instruments, passing streaming (Flush) through to the daemon's SSE
+// handler.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// instrument wraps the route mux with the serving-layer observability:
+// a per-request ID propagated through the context logger, the
+// route-labelled request counter and latency histogram, and a debug
+// completion log line. Routes are the mux patterns (bounded
+// cardinality), never raw paths.
+func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		_, route := mux.Handler(r)
+		if route == "" {
+			route = "unmatched"
+		}
+		reqLog := s.logger.With("req", newRequestID())
+		r = r.WithContext(withLogger(r.Context(), reqLog))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		mux.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		s.m.httpRequests.With(route, strconv.Itoa(sw.code)).Inc()
+		s.m.httpSeconds.With(route).Observe(elapsed.Seconds())
+		reqLog.Debug("http request",
+			"method", r.Method, "path", r.URL.Path, "route", route,
+			"status", sw.code, "bytes", sw.bytes, "dur", elapsed)
+	})
+}

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/ftsim/api"
+	"repro/internal/obs"
+)
+
+// scrapeMetrics fetches GET /metrics and returns the text exposition.
+func scrapeMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("GET /metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestMetricsEndpoint drives a job through its full lifecycle and a
+// quota rejection, then asserts the exposition covers every layer the
+// daemon instruments: HTTP serving, admission, the job lifecycle, and
+// the campaign engine underneath.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{DataDir: t.TempDir(), MaxTrialsPerClient: 3})
+
+	st := submit(t, ts, "", &api.CampaignRequest{
+		Name:   "metrics",
+		Trials: []api.TrialSpec{quickTrial("a"), quickTrial("b")},
+	})
+	waitState(t, ts, st.ID, api.StateDone)
+
+	// One submission over the per-client trial quota: 2 in flight... the
+	// first job is done, so the rejection needs 4 > 3 in one request.
+	body, _ := json.Marshal(&api.CampaignRequest{
+		Trials: []api.TrialSpec{quickTrial("a"), quickTrial("b"), quickTrial("c"), quickTrial("d")},
+	})
+	if code, out := postJSON(t, ts.URL+"/v1/campaigns", "", body); code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: HTTP %d: %s", code, out)
+	}
+
+	out := scrapeMetrics(t, ts.URL)
+	for _, want := range []string{
+		// HTTP layer: the submit route was hit, with both outcomes.
+		`ftsimd_http_requests_total{route="POST /v1/campaigns",code="202"} 1`,
+		`ftsimd_http_requests_total{route="POST /v1/campaigns",code="429"} 1`,
+		`ftsimd_http_request_seconds_count{route="POST /v1/campaigns"} 2`,
+		// Admission and lifecycle.
+		`ftsimd_quota_rejections_total{reason="client_trials"} 1`,
+		`ftsimd_jobs_submitted_total 1`,
+		`ftsimd_jobs_total{state="done"} 1`,
+		`ftsimd_queue_depth 0`,
+		`ftsimd_jobs_running 0`,
+		`ftsimd_queue_wait_seconds_count 1`,
+		// Campaign engine, through the shared sink.
+		`ftsim_trials_total{outcome="ok"} 2`,
+		`ftsim_trial_seconds_count{outcome="ok"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Checkpointing ran (the server has a data dir): at least one fsync.
+	if !strings.Contains(out, "ftsim_checkpoint_syncs_total ") {
+		t.Errorf("exposition missing ftsim_checkpoint_syncs_total:\n%s", out)
+	}
+}
+
+// TestHealthReadiness: /healthz reports slots and data-dir writability
+// with 200 while serving, then flips to 503/"draining" once a drain
+// begins.
+func TestHealthReadiness(t *testing.T) {
+	s, ts := newTestServer(t, Config{DataDir: t.TempDir(), Concurrency: 2})
+
+	get := func() (int, api.Health) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h api.Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h
+	}
+
+	code, h := get()
+	if code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthy daemon: HTTP %d, status %q", code, h.Status)
+	}
+	if h.Slots != 2 || h.SlotsInUse != 0 {
+		t.Errorf("slots %d/%d in use, want 0/2", h.SlotsInUse, h.Slots)
+	}
+	if h.DataDirWritable == nil || !*h.DataDirWritable {
+		t.Errorf("data dir not reported writable: %+v", h)
+	}
+	if h.Draining {
+		t.Errorf("fresh daemon reports draining")
+	}
+
+	s.mu.Lock()
+	s.draining = true // what Drain sets first; avoids tearing down the scheduler mid-test
+	s.mu.Unlock()
+	code, h = get()
+	if code != http.StatusServiceUnavailable || h.Status != "draining" || !h.Draining {
+		t.Fatalf("draining daemon: HTTP %d, status %q, draining %v", code, h.Status, h.Draining)
+	}
+	s.mu.Lock()
+	s.draining = false // let the deferred Drain run normally
+	s.mu.Unlock()
+}
+
+// TestHubSlowSubscriberEviction: a subscriber that lets its buffer fill
+// is evicted on the next non-interval event — and the eviction counter
+// says so.
+func TestHubSlowSubscriberEviction(t *testing.T) {
+	m := newMetrics(obs.NewRegistry())
+	h := newHub("j1", &m.sse)
+
+	_, ch, cancel := h.subscribe(0)
+	defer cancel()
+	if got := m.sse.subscribers.Value(); got != 1 {
+		t.Fatalf("subscribers gauge %d after subscribe, want 1", got)
+	}
+
+	// Fill the buffer exactly, without reading.
+	for i := 0; i < subBuffer; i++ {
+		h.publish(api.Event{Type: api.EventTrial})
+	}
+	if got := m.sse.evictions.Value(); got != 0 {
+		t.Fatalf("evicted with a merely full buffer (evictions %d)", got)
+	}
+
+	// An interval on a full buffer is dropped for this subscriber only.
+	h.publish(api.Event{Type: api.EventInterval})
+	if got := m.sse.droppedIntervals.Value(); got != 1 {
+		t.Errorf("dropped-interval counter %d, want 1", got)
+	}
+	if got := m.sse.evictions.Value(); got != 0 {
+		t.Fatalf("interval drop evicted the subscriber")
+	}
+
+	// A lifecycle event on a full buffer must not be dropped: evict.
+	h.publish(api.Event{Type: api.EventState, State: api.StateRunning})
+	if got := m.sse.evictions.Value(); got != 1 {
+		t.Errorf("eviction counter %d, want 1", got)
+	}
+	if got := m.sse.subscribers.Value(); got != 0 {
+		t.Errorf("subscribers gauge %d after eviction, want 0", got)
+	}
+	// The channel still drains its buffered events, then closes.
+	n := 0
+	for range ch {
+		n++
+	}
+	if n != subBuffer {
+		t.Errorf("evicted subscriber drained %d events, want %d", n, subBuffer)
+	}
+}
+
+// TestHubDroppedReplay: reconnecting with a Last-Event-ID that has
+// aged out of the bounded history replays what is retained and counts
+// what is gone.
+func TestHubDroppedReplay(t *testing.T) {
+	const past = 25
+	m := newMetrics(obs.NewRegistry())
+	h := newHub("j2", &m.sse)
+
+	for i := 0; i < hubHistory+past; i++ {
+		h.publish(api.Event{Type: api.EventInterval})
+	}
+
+	backlog, _, cancel := h.subscribe(0) // asks for everything since the beginning
+	defer cancel()
+	if len(backlog) != hubHistory {
+		t.Fatalf("backlog %d events, want the full retained window %d", len(backlog), hubHistory)
+	}
+	if got := m.sse.droppedReplays.Value(); got != past {
+		t.Errorf("dropped-replay counter %d, want %d", got, past)
+	}
+	if got := m.sse.replayed.Value(); got != hubHistory {
+		t.Errorf("replayed counter %d, want %d", got, hubHistory)
+	}
+
+	// A subscriber inside the window drops nothing further.
+	backlog2, _, cancel2 := h.subscribe(int64(hubHistory + past - 10))
+	defer cancel2()
+	if len(backlog2) != 10 {
+		t.Fatalf("in-window backlog %d events, want 10", len(backlog2))
+	}
+	if got := m.sse.droppedReplays.Value(); got != past {
+		t.Errorf("in-window replay moved the dropped counter to %d", got)
+	}
+}

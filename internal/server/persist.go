@@ -161,7 +161,7 @@ func (s *Server) recover() error {
 			// A job that validated at submission should rebuild; if it no
 			// longer does (e.g. a hand-edited envelope), surface it as a
 			// failed job rather than refusing to start the daemon.
-			s.logf("job %s: rebuild failed: %v", env.ID, err)
+			s.logger.Warn("job rebuild failed", "job", env.ID, "err", err)
 			j = &job{owner: env.Owner, name: env.Name, req: env.Request, state: api.StateFailed,
 				errMsg: fmt.Sprintf("rebuild after restart: %v", err)}
 			j.finished = time.Now().UTC()
@@ -169,7 +169,7 @@ func (s *Server) recover() error {
 		j.id = env.ID
 		j.name = env.Name
 		j.submitted = env.Submitted
-		j.hub = newHub(j.id)
+		j.hub = newHub(j.id, &s.m.sse)
 
 		if rec, err := s.loadDone(env.ID); err != nil {
 			return err
@@ -189,6 +189,7 @@ func (s *Server) recover() error {
 		switch {
 		case j.state == api.StateQueued:
 			s.fifo = append(s.fifo, j)
+			s.m.queueDepth.Inc()
 			j.hub.publish(api.Event{Type: api.EventState, State: api.StateQueued})
 			requeued++
 		default:
@@ -199,7 +200,8 @@ func (s *Server) recover() error {
 		}
 	}
 	if len(envelopes) > 0 {
-		s.logf("recovered %d job(s) from %s, %d re-queued", len(envelopes), s.cfg.DataDir, requeued)
+		s.logger.Info("recovered jobs from data dir",
+			"dir", s.cfg.DataDir, "jobs", len(envelopes), "requeued", requeued)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -156,7 +157,7 @@ func TestServerResumesAfterSIGKILL(t *testing.T) {
 
 	// Restart: a fresh server on the same data directory re-queues and
 	// resumes the job.
-	s2, err := New(Config{DataDir: dataDir, Concurrency: 1, FlushEvery: 1, Logf: t.Logf})
+	s2, err := New(Config{DataDir: dataDir, Concurrency: 1, FlushEvery: 1, Logger: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestServerResumesAfterSIGKILL(t *testing.T) {
 
 	// Control: the identical submission on a pristine server. Aggregate
 	// stats must be byte-identical.
-	s3, err := New(Config{Concurrency: 1, Logf: t.Logf})
+	s3, err := New(Config{Concurrency: 1, Logger: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,9 +211,7 @@ func crashChildServer(root string) {
 		Concurrency:  1,
 		FlushEvery:   1,
 		ObserveEvery: 100_000,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "child: "+format+"\n", args...)
-		},
+		Logger:       slog.New(slog.NewTextHandler(os.Stderr, nil)).With("proc", "child"),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "child: %v\n", err)

@@ -13,7 +13,8 @@
 //	GET    /v1/campaigns/{id}        status + aggregate stats when done
 //	GET    /v1/campaigns/{id}/events SSE stream (api.Event records)
 //	DELETE /v1/campaigns/{id}        cancel
-//	GET    /healthz                  liveness + queue depth
+//	GET    /healthz                  liveness + readiness (503 while draining)
+//	GET    /metrics                  Prometheus text exposition
 //	GET    /version                  build metadata
 package server
 
@@ -24,7 +25,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
@@ -32,6 +36,7 @@ import (
 	"repro/ftsim"
 	"repro/ftsim/api"
 	"repro/internal/buildinfo"
+	"repro/internal/obs"
 )
 
 // maxBodyBytes bounds submission bodies; a campaign grid of thousands
@@ -75,8 +80,14 @@ type Config struct {
 	FlushEvery int
 	// TrialTimeout, when positive, bounds each trial attempt.
 	TrialTimeout time.Duration
-	// Logf receives operational log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational logs; nil discards them.
+	// Request- and job-scoped loggers derive from it with "req" and
+	// "job" attributes attached.
+	Logger *slog.Logger
+	// Registry receives the server's metric families (and the campaign
+	// engine's, shared across all jobs). nil creates a private registry;
+	// either way GET /metrics on the Handler serves it.
+	Registry *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +123,8 @@ func (c Config) withDefaults() Config {
 // with Drain.
 type Server struct {
 	cfg     Config
+	logger  *slog.Logger
+	m       *metrics
 	runCtx  context.Context
 	stopRun context.CancelFunc
 
@@ -129,6 +142,15 @@ type Server struct {
 // (re-queueing interrupted ones), and starts the scheduler slots.
 func New(cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg.withDefaults(), jobs: make(map[string]*job)}
+	s.logger = s.cfg.Logger
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
+	}
+	reg := s.cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.m = newMetrics(reg)
 	s.cond = sync.NewCond(&s.mu)
 	s.runCtx, s.stopRun = context.WithCancel(context.Background())
 	if err := s.recover(); err != nil {
@@ -139,12 +161,6 @@ func New(cfg Config) (*Server, error) {
 		go s.scheduler()
 	}
 	return s, nil
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
 }
 
 // Drain gracefully shuts the server down: admission stops (503s),
@@ -187,7 +203,8 @@ func owner(r *http.Request) string {
 	return "default"
 }
 
-// Handler returns the HTTP surface.
+// Handler returns the HTTP surface, wrapped in the request-ID and
+// metrics middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
@@ -196,8 +213,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.m.reg.Handler())
 	mux.HandleFunc("GET /version", s.handleVersion)
-	return mux
+	return s.instrument(mux)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -234,6 +252,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		s.m.rejections.With("draining").Inc()
 		fail(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -249,17 +268,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if queued >= s.cfg.MaxQueue {
 		s.mu.Unlock()
+		s.m.rejections.With("queue_full").Inc()
 		fail(w, http.StatusServiceUnavailable, "queue full (%d jobs queued)", queued)
 		return
 	}
 	if ownerJobs >= s.cfg.MaxQueuedPerClient {
 		s.mu.Unlock()
+		s.m.rejections.With("client_jobs").Inc()
 		fail(w, http.StatusTooManyRequests,
 			"client %q has %d active jobs (limit %d)", j.owner, ownerJobs, s.cfg.MaxQueuedPerClient)
 		return
 	}
 	if ownerTrials+len(j.trials) > s.cfg.MaxTrialsPerClient {
 		s.mu.Unlock()
+		s.m.rejections.With("client_trials").Inc()
 		fail(w, http.StatusTooManyRequests,
 			"client %q would have %d trials in flight (limit %d)",
 			j.owner, ownerTrials+len(j.trials), s.cfg.MaxTrialsPerClient)
@@ -271,7 +293,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.id = newJobID()
 	}
 	j.submitted = time.Now().UTC()
-	j.hub = newHub(j.id)
+	j.hub = newHub(j.id, &s.m.sse)
 	if err := s.persistEnvelope(j); err != nil {
 		s.mu.Unlock()
 		fail(w, http.StatusInternalServerError, "persisting job: %v", err)
@@ -280,11 +302,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.fifo = append(s.fifo, j)
+	s.m.submitted.Inc()
+	s.m.queueDepth.Inc() // gauge transitions happen under s.mu, like the states they mirror
 	st := j.status()
 	s.mu.Unlock()
 	s.cond.Signal()
 
-	s.logf("job %s (%s): queued (%d trials, client %s)", j.id, j.name, st.Trials, j.owner)
+	s.log(r.Context()).Info("job queued",
+		"job", j.id, "name", j.name, "trials", st.Trials, "client", j.owner)
 	j.hub.publish(api.Event{Type: api.EventState, State: api.StateQueued})
 	writeJSON(w, http.StatusAccepted, st)
 }
@@ -329,15 +354,21 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.cancelJob(j)
-	s.logf("job %s: cancel requested (state %s)", j.id, st.State)
+	s.log(r.Context()).Info("job cancel requested", "job", j.id, "state", st.State)
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handleHealth is liveness plus readiness: queue and slot occupancy,
+// drain state, and a data-dir write probe. A draining daemon (no longer
+// admitting jobs) and one that cannot persist submissions both answer
+// 503, so load balancers rotate clients away before submissions fail.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	h := api.Health{Status: "ok", Jobs: len(s.jobs)}
-	if s.draining {
-		h.Status = "draining"
+	h := api.Health{
+		Status:   "ok",
+		Jobs:     len(s.jobs),
+		Slots:    s.cfg.Concurrency,
+		Draining: s.draining,
 	}
 	for _, j := range s.jobs {
 		switch j.state {
@@ -348,7 +379,37 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, h)
+	h.SlotsInUse = h.Running
+
+	code := http.StatusOK
+	if s.cfg.DataDir != "" {
+		h.DataDir = s.cfg.DataDir
+		writable := probeWritable(s.cfg.DataDir)
+		h.DataDirWritable = &writable
+		if !writable {
+			h.Status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+	}
+	if h.Draining {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// probeWritable checks that the daemon can still create files in dir —
+// the thing admission actually requires — by creating and removing a
+// scratch file.
+func probeWritable(dir string) bool {
+	f, err := os.CreateTemp(dir, ".healthz*")
+	if err != nil {
+		return false
+	}
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+	return filepath.Dir(name) == filepath.Clean(dir)
 }
 
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,10 @@
 #      daemon mid-grid, restart it on the same data directory, and
 #      assert the resumed run's aggregate stats are byte-identical to
 #      an uninterrupted control run of the same submission
+#   4. observability: scrape GET /metrics on the restarted daemon and
+#      assert the documented core families carry sane values (a resumed
+#      job must show up in ftsim_trials_resumed_total), plus /healthz
+#      readiness and ftsimc -o json output
 #
 # Run from the repository root: scripts/smoke_ftsimd.sh
 set -euo pipefail
@@ -105,6 +109,45 @@ wait_for "$id" '  done  '
 "$work/ftsimc" -addr "$addr" status "$id" | grep -q 'resumed' \
   || die "restarted job resumed nothing: $("$work/ftsimc" -addr "$addr" status "$id")"
 "$work/ftsimc" -addr "$addr" status -stats "$id" > "$work/resumed.json"
+
+# ---------------------------------------------------------------- 3.
+# Observability: the restarted daemon's /metrics must document what
+# just happened — a recovered job, resumed trials, checkpoint fsyncs —
+# and /healthz must report ready.
+say "phase 3: scraping /metrics on the restarted daemon"
+curl -fsS "$addr/metrics" > "$work/metrics.txt" || die "GET /metrics failed"
+
+# metric_ge <regex> <min> — asserts one exposition line matches and its
+# value is >= min.
+metric_ge() {
+  local line
+  line=$(grep -E "^$1 " "$work/metrics.txt" | head -1)
+  [ -n "$line" ] || die "metrics: no line matching '$1'"
+  awk -v min="$2" '{ exit ($NF >= min) ? 0 : 1 }' <<< "$line" \
+    || die "metrics: '$line' below expected minimum $2"
+}
+metric_ge 'ftsimd_http_requests_total\{route="GET /v1/campaigns/\{id\}",code="200"\}' 1
+metric_ge 'ftsimd_jobs_total\{state="done"\}' 1
+metric_ge 'ftsimd_jobs_running' 0
+metric_ge 'ftsimd_queue_wait_seconds_count' 1
+metric_ge 'ftsim_trials_total\{outcome="ok"\}' 1
+metric_ge 'ftsim_trials_resumed_total' 1
+metric_ge 'ftsim_checkpoint_syncs_total' 1
+grep -q '^ftsim_trial_seconds_bucket' "$work/metrics.txt" \
+  || die "metrics: no ftsim_trial_seconds histogram buckets"
+grep -qE '^ftsimd_queue_depth 0$' "$work/metrics.txt" \
+  || die "metrics: queue depth of an idle daemon is not 0"
+say "core metric families present with sane values"
+
+health_code=$(curl -s -o "$work/health.json" -w '%{http_code}' "$addr/healthz")
+[ "$health_code" = 200 ] || die "healthz returned $health_code: $(cat "$work/health.json")"
+grep -q '"status": "ok"' "$work/health.json" || die "healthz not ok: $(cat "$work/health.json")"
+
+"$work/ftsimc" -addr "$addr" status -o json "$id" | grep -q '"state": "done"' \
+  || die "ftsimc status -o json did not report the done job"
+"$work/ftsimc" -addr "$addr" list -o json | grep -q "\"id\": \"$id\"" \
+  || die "ftsimc list -o json did not include $id"
+say "healthz ready, ftsimc -o json OK"
 stop_daemon_hard
 
 say "control: uninterrupted run of the same submission"
