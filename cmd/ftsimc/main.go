@@ -31,10 +31,10 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ftsimc [-addr URL] [-token ID] <command> [args]
+	fmt.Fprintln(os.Stderr, `usage: ftsimc [-addr URL] [-token ID] [-auth-token T] <command> [args]
 
 commands:
-  submit [-name N] [-bench B] [-seed S] [-workers W] [-max-insts I] <config.json>...
+  submit [-name N] [-bench B] [-seed S] [-workers W] [-max-insts I] [-shards K] <config.json>...
   status [-stats] [-o json] <job-id>
   watch  <job-id>
   cancel <job-id>
@@ -46,6 +46,7 @@ commands:
 func main() {
 	addr := flag.String("addr", envOr("FTSIMD_ADDR", "http://127.0.0.1:8080"), "ftsimd base URL (env FTSIMD_ADDR)")
 	token := flag.String("token", "", "client identity for quota accounting")
+	authToken := flag.String("auth-token", os.Getenv("FTSIMD_AUTH_TOKEN"), "daemon bearer token (env FTSIMD_AUTH_TOKEN)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Usage = usage
 	flag.Parse()
@@ -57,7 +58,7 @@ func main() {
 		usage()
 	}
 
-	c := &client.Client{BaseURL: strings.TrimRight(*addr, "/"), Token: *token}
+	c := &client.Client{BaseURL: strings.TrimRight(*addr, "/"), Token: *token, AuthToken: *authToken}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -102,12 +103,13 @@ func runSubmit(ctx context.Context, c *client.Client, args []string) error {
 	seed := fs.Int64("seed", 0, "campaign master seed (0 = server default)")
 	workers := fs.Int("workers", 0, "worker goroutines for this campaign (0 = server default)")
 	maxInsts := fs.Uint64("max-insts", 0, "override each config's instruction budget")
+	shards := fs.Int("shards", 0, "shard count hint for coordinator daemons (0 = coordinator default)")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		return fmt.Errorf("submit: no config files")
 	}
 
-	req := &api.CampaignRequest{Name: *name, Seed: *seed, Workers: *workers}
+	req := &api.CampaignRequest{Name: *name, Seed: *seed, Workers: *workers, Shards: *shards}
 	for _, path := range fs.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {

@@ -10,10 +10,21 @@
 //	ftsimd -addr :8080 -data-dir /var/lib/ftsimd
 //	ftsimd -addr 127.0.0.1:0 -jobs 2 -workers 4
 //
+// Coordinator mode shards campaigns across a fleet of worker ftsimd
+// daemons instead of simulating locally — same API, same results,
+// byte for byte:
+//
+//	ftsimd -coordinator -worker-urls http://w1:8080,http://w2:8080
+//
+// -auth-token locks the daemon's campaign API behind a shared bearer
+// token (probe endpoints stay open); -worker-auth-token is the
+// credential a coordinator presents to its workers.
+//
 // Observability: GET /metrics serves the Prometheus text exposition
-// (queue, job lifecycle, SSE hub, HTTP serving and campaign-engine
-// families), -pprof mounts net/http/pprof under /debug/pprof/, and
-// operational logs are structured (-log-format text|json, -log-level).
+// (queue, job lifecycle, SSE hub, HTTP serving, campaign-engine and —
+// in coordinator mode — shard-dispatch families), -pprof mounts
+// net/http/pprof under /debug/pprof/, and operational logs are
+// structured (-log-format text|json, -log-level).
 //
 // SIGINT/SIGTERM drain gracefully: admission stops, running campaigns
 // flush their checkpoint journals and return, queued jobs stay queued
@@ -30,10 +41,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/coord"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -55,6 +69,18 @@ func newLogger(format, level string) (*slog.Logger, error) {
 	}
 }
 
+// splitURLs parses the -worker-urls list, trimming blanks so trailing
+// commas and stray spaces don't become phantom workers.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, strings.TrimRight(u, "/"))
+		}
+	}
+	return out
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	dataDir := flag.String("data-dir", "", "persistence root for job envelopes and checkpoint journals (empty = ephemeral)")
@@ -72,6 +98,11 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	authToken := flag.String("auth-token", os.Getenv("FTSIMD_AUTH_TOKEN"), "shared bearer token required on the campaign API (env FTSIMD_AUTH_TOKEN; empty = open)")
+	coordinator := flag.Bool("coordinator", false, "shard campaigns across -worker-urls instead of simulating locally")
+	workerURLs := flag.String("worker-urls", "", "comma-separated worker ftsimd base URLs (coordinator mode)")
+	shards := flag.Int("shards", 0, "default shards per campaign in coordinator mode (0 = one per worker)")
+	workerAuthToken := flag.String("worker-auth-token", os.Getenv("FTSIMD_WORKER_AUTH_TOKEN"), "bearer token presented to workers (env FTSIMD_WORKER_AUTH_TOKEN)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -89,7 +120,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	s, err := server.New(server.Config{
+	cfg := server.Config{
 		DataDir:            *dataDir,
 		MaxQueue:           *queue,
 		Concurrency:        *jobs,
@@ -101,8 +132,30 @@ func main() {
 		ObserveEvery:       *observeEvery,
 		FlushEvery:         *flushEvery,
 		TrialTimeout:       *trialTimeout,
+		AuthToken:          *authToken,
 		Logger:             logger,
-	})
+	}
+	if *coordinator {
+		// One registry for the whole process so /metrics carries the
+		// ftsimd_coord_* families next to the server's own.
+		cfg.Registry = obs.NewRegistry()
+		co, err := coord.New(coord.Config{
+			Workers:   splitURLs(*workerURLs),
+			AuthToken: *workerAuthToken,
+			Shards:    *shards,
+			Logger:    logger,
+			Registry:  cfg.Registry,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer co.Close()
+		cfg.Backend = co
+	} else if *workerURLs != "" {
+		fatal(fmt.Errorf("-worker-urls requires -coordinator"))
+	}
+
+	s, err := server.New(cfg)
 	if err != nil {
 		fatal(err)
 	}

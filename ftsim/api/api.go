@@ -13,6 +13,7 @@ package api
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 
@@ -49,17 +50,72 @@ type CampaignRequest struct {
 	// campaign (0 keeps the server default). Results are identical for
 	// any value.
 	Workers int `json:"workers,omitempty"`
+	// Shards asks a coordinator daemon to split the grid into this many
+	// trial-range shards across its worker daemons (0 picks one shard
+	// per configured worker). Results are identical for any value — a
+	// shard's per-trial seeds derive from parent-grid indices, never
+	// from the partition. Worker daemons ignore the field.
+	Shards int `json:"shards,omitempty"`
+	// Shard marks this request as one shard of a larger campaign grid:
+	// trial i of this request is trial Shard.Offset+i of the parent
+	// grid, and its fault seed derives from that parent index, so a
+	// sharded run's statistics are byte-identical to an unsharded
+	// run's. Coordinators set it on the sub-campaigns they dispatch;
+	// plain clients normally leave it nil.
+	Shard *ShardRange `json:"shard,omitempty"`
 	// Trials is the grid, run in order-independent parallel with
 	// deterministic per-trial seeds.
 	Trials []TrialSpec `json:"trials"`
 }
+
+// ShardRange locates a shard's trials inside its parent campaign grid.
+type ShardRange struct {
+	// Offset is the parent-grid index of this request's first trial.
+	Offset int `json:"offset"`
+	// Total is the parent grid's trial count; the shard's trials must
+	// fit inside [Offset, Total).
+	Total int `json:"total"`
+}
+
+// validateShard checks a request's shard range against its own trial
+// count: the range [Offset, Offset+len(Trials)) must sit inside
+// [0, Total). Comparisons are arranged to be overflow-proof — a Total
+// of math.MaxInt64 with a near-max Offset must be rejected, not wrap.
+func (r *CampaignRequest) validateShard() error {
+	s := r.Shard
+	if s == nil {
+		return nil
+	}
+	switch {
+	case s.Offset < 0:
+		return fmt.Errorf("shard: negative offset %d", s.Offset)
+	case s.Total < 1:
+		return fmt.Errorf("shard: total %d is not a positive trial count", s.Total)
+	case s.Offset >= s.Total:
+		return fmt.Errorf("shard: offset %d is outside the parent grid of %d trials", s.Offset, s.Total)
+	case len(r.Trials) > s.Total-s.Offset:
+		return fmt.Errorf("shard: %d trials at offset %d overflow the parent grid of %d trials",
+			len(r.Trials), s.Offset, s.Total)
+	}
+	return nil
+}
+
+// MaxTrialsPerRequest bounds one submission's grid. It exists to make
+// trial-count arithmetic overflow-proof everywhere downstream (quota
+// sums, shard partitioning) and is far above any campaign the service
+// is sized for; per-client quotas bite long before it does.
+const MaxTrialsPerRequest = 10_000_000
 
 // ParseSubmission decodes a POST /v1/campaigns body. Two shapes are
 // accepted: a full CampaignRequest (the top level has a "trials" key),
 // and a bare ftsim.Config — e.g. a ftsim/testdata golden file — which
 // becomes a one-trial campaign on the server's default workload.
 // Unknown fields are rejected in both shapes: a typo in a submitted
-// machine description must not silently fall back to a default.
+// machine description must not silently fall back to a default. The
+// request-shape invariants every daemon mode relies on are enforced
+// here: at least one trial, a bounded trial count, a non-negative
+// shard-count hint, and a shard range that stays inside its parent
+// grid.
 func ParseSubmission(data []byte) (*CampaignRequest, error) {
 	var probe map[string]json.RawMessage
 	if err := json.Unmarshal(data, &probe); err != nil {
@@ -76,6 +132,19 @@ func ParseSubmission(data []byte) (*CampaignRequest, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		return nil, err
+	}
+	if len(req.Trials) == 0 {
+		return nil, errors.New("campaign has no trials")
+	}
+	if len(req.Trials) > MaxTrialsPerRequest {
+		return nil, fmt.Errorf("campaign has %d trials (limit %d per request)",
+			len(req.Trials), MaxTrialsPerRequest)
+	}
+	if req.Shards < 0 {
+		return nil, fmt.Errorf("negative shard count %d", req.Shards)
+	}
+	if err := req.validateShard(); err != nil {
 		return nil, err
 	}
 	return &req, nil
@@ -120,6 +189,12 @@ type JobStatus struct {
 	Done    int `json:"done"`
 	Failed  int `json:"failed,omitempty"`
 	Resumed int `json:"resumed,omitempty"`
+
+	// Shard progress, reported by coordinator daemons only: the number
+	// of trial-range shards the grid was split into and how many have
+	// completed on their workers.
+	Shards     int `json:"shards,omitempty"`
+	ShardsDone int `json:"shards_done,omitempty"`
 
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`

@@ -3,6 +3,7 @@ package api
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -78,6 +79,82 @@ func TestParseSubmissionRejects(t *testing.T) {
 	_, err := ParseSubmission([]byte(`{"r": -4}`))
 	if !errors.Is(err, ftsim.ErrInvalidConfig) {
 		t.Errorf("bare invalid config: got %v, want ErrInvalidConfig", err)
+	}
+}
+
+// TestParseSubmissionTrialBounds: the grid-size invariants every daemon
+// mode relies on — at least one trial, at most MaxTrialsPerRequest.
+func TestParseSubmissionTrialBounds(t *testing.T) {
+	for name, body := range map[string]string{
+		"zero trials":  `{"trials": []}`,
+		"null trials":  `{"trials": null}`,
+		"named, empty": `{"name": "sweep", "seed": 3, "trials": []}`,
+	} {
+		if _, err := ParseSubmission([]byte(body)); err == nil {
+			t.Errorf("%s: accepted %s", name, body)
+		}
+	}
+
+	// One real trial passes the same gate.
+	one, err := json.Marshal(&CampaignRequest{
+		Trials: []TrialSpec{{Config: ftsim.ModelSS2.Config()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSubmission(one); err != nil {
+		t.Errorf("one-trial campaign rejected: %v", err)
+	}
+}
+
+// TestParseSubmissionShardRange: shard ranges outside the parent grid —
+// including arithmetic chosen to overflow naive offset+count sums — are
+// rejected at the door.
+func TestParseSubmissionShardRange(t *testing.T) {
+	mk := func(trials int, shard *ShardRange, shards int) []byte {
+		req := &CampaignRequest{Shard: shard, Shards: shards}
+		for i := 0; i < trials; i++ {
+			req.Trials = append(req.Trials, TrialSpec{Config: ftsim.ModelSS2.Config()})
+		}
+		data, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	accepted := map[string][]byte{
+		"no shard":           mk(2, nil, 0),
+		"shard hint only":    mk(2, nil, 7),
+		"first shard":        mk(2, &ShardRange{Offset: 0, Total: 5}, 0),
+		"last shard":         mk(2, &ShardRange{Offset: 3, Total: 5}, 0),
+		"whole grid as one":  mk(2, &ShardRange{Offset: 0, Total: 2}, 0),
+		"single-trial shard": mk(1, &ShardRange{Offset: 4, Total: 5}, 0),
+	}
+	for name, body := range accepted {
+		if _, err := ParseSubmission(body); err != nil {
+			t.Errorf("%s: rejected: %v", name, err)
+		}
+	}
+
+	rejected := map[string][]byte{
+		"negative offset":  mk(1, &ShardRange{Offset: -1, Total: 5}, 0),
+		"zero total":       mk(1, &ShardRange{Offset: 0, Total: 0}, 0),
+		"negative total":   mk(1, &ShardRange{Offset: 0, Total: -3}, 0),
+		"offset past grid": mk(1, &ShardRange{Offset: 5, Total: 5}, 0),
+		"range past grid":  mk(2, &ShardRange{Offset: 4, Total: 5}, 0),
+		"negative hint":    mk(1, nil, -1),
+		"offset+len overflow": mk(2, &ShardRange{
+			// Offset+len(Trials) overflows int if summed naively; the
+			// validator must reject by comparison, not wrap to a small
+			// positive number and accept.
+			Offset: math.MaxInt - 1, Total: math.MaxInt,
+		}, 0),
+	}
+	for name, body := range rejected {
+		if _, err := ParseSubmission(body); err == nil {
+			t.Errorf("%s: accepted out-of-bounds shard range", name)
+		}
 	}
 }
 

@@ -71,6 +71,7 @@ type campaignOpts struct {
 	backoff      time.Duration
 	failFast     bool
 	metrics      *campaign.Metrics
+	seedOffset   int
 }
 
 // WithWorkers sets the worker-pool size (0 = GOMAXPROCS, 1 = serial).
@@ -83,6 +84,16 @@ func WithWorkers(n int) CampaignOption {
 // seed derives from; the default is 1.
 func WithCampaignSeed(seed int64) CampaignOption {
 	return func(o *campaignOpts) { o.seed = seed }
+}
+
+// WithTrialSeedOffset shifts seed derivation: trial i draws the seed of
+// parent-grid index offset+i. It is how a shard of a larger campaign
+// keeps per-trial seeds identical to the unsharded run — a coordinator
+// dispatches trials [offset, offset+n) of the parent grid as a
+// shard-local grid [0, n) with this option, and the merged statistics
+// come out byte-identical to one daemon running the whole range.
+func WithTrialSeedOffset(offset int) CampaignOption {
+	return func(o *campaignOpts) { o.seedOffset = offset }
 }
 
 // WithCampaignProgress streams trial completions to fn (serialised, in
@@ -230,6 +241,9 @@ func RunCampaign(ctx context.Context, name string, trials []Trial, opts ...Campa
 		}
 	}
 	spec := campaign.Spec{Name: name, Seed: o.seed, Trials: specTrials}
+	if off := o.seedOffset; off != 0 {
+		spec.SeedIndex = func(i int) int { return off + i }
+	}
 	return runner.Run(ctx, spec)
 }
 

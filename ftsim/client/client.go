@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/ftsim/api"
 )
@@ -27,6 +29,22 @@ type Client struct {
 	// Token identifies this client for quota accounting (the
 	// X-FTSim-Client header). Empty means the shared default identity.
 	Token string
+	// AuthToken is the daemon's shared bearer token (the -auth-token it
+	// was started with), sent as "Authorization: Bearer <token>". Empty
+	// sends no credential, which open daemons accept.
+	AuthToken string
+	// Retries is the number of additional attempts for transiently
+	// failed requests: transport errors (connection refused, reset) and
+	// 5xx responses. 0 disables retrying. 4xx responses other than 429
+	// are never retried — the request itself is wrong. Note a transport
+	// error leaves unknown whether the daemon acted on the request;
+	// retried Submits can in principle double-submit on a half-open
+	// connection, so idempotency-sensitive callers (the coordinator)
+	// reconcile by listing.
+	Retries int
+	// RetryBackoff is the wait before the first retry, doubled each
+	// further attempt and capped at 2s. <= 0 means 100ms.
+	RetryBackoff time.Duration
 	// HTTPClient overrides http.DefaultClient when set. Watch streams
 	// indefinitely; a client with a global Timeout will cut streams off.
 	HTTPClient *http.Client
@@ -39,10 +57,58 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// do issues one request and decodes the JSON response into out. Error
-// responses decode the service's JSON error body into the returned
-// error.
+// setHeaders attaches the client identity and credential.
+func (c *Client) setHeaders(req *http.Request) {
+	if c.Token != "" {
+		req.Header.Set("X-FTSim-Client", c.Token)
+	}
+	if c.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.AuthToken)
+	}
+}
+
+// maxRetryBackoff caps the exponential retry wait.
+const maxRetryBackoff = 2 * time.Second
+
+// transientError reports whether a do() failure is worth retrying:
+// the request never got a verdict (transport error) or the daemon
+// itself was the problem (5xx) or explicitly asked for later (429).
+// Other 4xx responses are caller errors; retrying cannot fix them.
+func transientError(err error) bool {
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode >= 500 || apiErr.StatusCode == http.StatusTooManyRequests
+	}
+	var urlErr *url.Error
+	return errors.As(err, &urlErr)
+}
+
+// do issues a request and decodes the JSON response into out,
+// retrying transient failures up to Retries extra times with capped
+// exponential backoff. Error responses decode the service's JSON error
+// body into the returned error.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, body, out)
+		if err == nil || attempt >= c.Retries || !transientError(err) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxRetryBackoff {
+			backoff = maxRetryBackoff
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -54,9 +120,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	if c.Token != "" {
-		req.Header.Set("X-FTSim-Client", c.Token)
-	}
+	c.setHeaders(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -148,9 +212,7 @@ func (c *Client) Health(ctx context.Context) (*api.Health, error) {
 	if err != nil {
 		return nil, err
 	}
-	if c.Token != "" {
-		req.Header.Set("X-FTSim-Client", c.Token)
-	}
+	c.setHeaders(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err
@@ -194,9 +256,7 @@ func (c *Client) Watch(ctx context.Context, id string, lastEventID int64, fn fun
 	if err != nil {
 		return err
 	}
-	if c.Token != "" {
-		req.Header.Set("X-FTSim-Client", c.Token)
-	}
+	c.setHeaders(req)
 	if lastEventID > 0 {
 		req.Header.Set("Last-Event-ID", strconv.FormatInt(lastEventID, 10))
 	}

@@ -1,0 +1,169 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/ftsim/api"
+	"repro/ftsim/client"
+	"repro/internal/server"
+)
+
+// flakyHandler answers the first fail requests with the given status
+// and an api.Error body, then serves a JobStatus.
+func flakyHandler(fail int, status int, hits *atomic.Int32) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		if int(n) <= fail {
+			w.WriteHeader(status)
+			fmt.Fprintf(w, `{"error": "induced failure %d"}`, n)
+			return
+		}
+		fmt.Fprint(w, `{"id": "c123", "name": "ok", "state": "done", "trials": 1, "done": 1, "submitted": "2026-01-01T00:00:00Z"}`)
+	})
+}
+
+// TestClientRetries5xx: a daemon that 503s twice and then answers is
+// survived by a client with Retries >= 2 — and the server really was
+// hit three times.
+func TestClientRetries5xx(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(flakyHandler(2, http.StatusServiceUnavailable, &hits))
+	defer ts.Close()
+
+	c := &client.Client{BaseURL: ts.URL, Retries: 3, RetryBackoff: time.Millisecond}
+	st, err := c.Status(context.Background(), "c123")
+	if err != nil {
+		t.Fatalf("status after two 503s: %v", err)
+	}
+	if st.ID != "c123" || hits.Load() != 3 {
+		t.Errorf("got %+v after %d hits, want c123 after 3", st, hits.Load())
+	}
+}
+
+// TestClientRetryExhaustion: when every attempt fails, the last error
+// surfaces as the *api.Error and the attempt count is Retries+1.
+func TestClientRetryExhaustion(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(flakyHandler(1<<30, http.StatusBadGateway, &hits))
+	defer ts.Close()
+
+	c := &client.Client{BaseURL: ts.URL, Retries: 2, RetryBackoff: time.Millisecond}
+	_, err := c.Status(context.Background(), "c123")
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadGateway {
+		t.Fatalf("exhausted retries: %v, want 502 api.Error", err)
+	}
+	if hits.Load() != 3 {
+		t.Errorf("server hit %d times, want Retries+1 = 3", hits.Load())
+	}
+}
+
+// TestClientNoRetryOn4xx: client errors are final — one attempt, no
+// matter the retry budget.
+func TestClientNoRetryOn4xx(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(flakyHandler(1<<30, http.StatusBadRequest, &hits))
+	defer ts.Close()
+
+	c := &client.Client{BaseURL: ts.URL, Retries: 5, RetryBackoff: time.Millisecond}
+	_, err := c.Status(context.Background(), "c123")
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("got %v, want 400 api.Error", err)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("400 was attempted %d times, want exactly 1", hits.Load())
+	}
+}
+
+// TestClientRetriesDeadConnections: the first connections are accepted
+// and slammed shut before any HTTP exchange — the shape of a daemon
+// mid-restart — and the retry loop rides it out until real responses
+// flow.
+func TestClientRetriesDeadConnections(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var hits atomic.Int32
+	srv := &http.Server{Handler: flakyHandler(0, 0, &hits)}
+	defer srv.Close()
+	go func() {
+		for i := 0; i < 2; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close() // refuse service at the transport layer
+		}
+		srv.Serve(ln)
+	}()
+
+	c := &client.Client{
+		BaseURL: "http://" + ln.Addr().String(),
+		Retries: 4, RetryBackoff: time.Millisecond,
+		// Fresh connections per attempt: a pooled dead keep-alive conn
+		// would shadow the recovery.
+		HTTPClient: &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+	}
+	st, err := c.Status(context.Background(), "c123")
+	if err != nil {
+		t.Fatalf("status after two dead connections: %v", err)
+	}
+	if st.ID != "c123" || hits.Load() != 1 {
+		t.Errorf("got %+v with %d served requests, want c123 and exactly 1", st, hits.Load())
+	}
+}
+
+// TestClientRetryHonoursContext: an expiring context stops the retry
+// loop instead of sleeping through the whole backoff schedule.
+func TestClientRetryHonoursContext(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(flakyHandler(1<<30, http.StatusServiceUnavailable, &hits))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	c := &client.Client{BaseURL: ts.URL, Retries: 1000, RetryBackoff: 30 * time.Millisecond}
+	start := time.Now()
+	_, err := c.Status(ctx, "c123")
+	if err == nil {
+		t.Fatal("retry loop returned success from an always-503 server")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("retry loop ran %v past its context", elapsed)
+	}
+}
+
+// TestClientAuthToken: against a token-locked daemon, a client without
+// the credential gets a non-retried 401 and one with it works.
+func TestClientAuthToken(t *testing.T) {
+	const token = "swordfish"
+	c := startDaemon(t, server.Config{AuthToken: token})
+	ctx := context.Background()
+
+	bare := &client.Client{BaseURL: c.BaseURL, Retries: 3, RetryBackoff: time.Millisecond}
+	_, err := bare.List(ctx)
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated list: %v, want 401 api.Error", err)
+	}
+
+	authed := &client.Client{BaseURL: c.BaseURL, AuthToken: token}
+	if _, err := authed.List(ctx); err != nil {
+		t.Fatalf("authenticated list: %v", err)
+	}
+	if _, err := authed.Health(ctx); err != nil {
+		t.Fatalf("health with token: %v", err)
+	}
+}

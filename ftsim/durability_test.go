@@ -191,6 +191,73 @@ func TestRunCampaignDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestRunCampaignTrialSeedOffset: a sub-range of a grid run with
+// WithTrialSeedOffset produces exactly the statistics the full run
+// produced at those indices — the invariant that makes sharded
+// campaigns merge byte-identical to unsharded ones. Fault injection is
+// enabled on half the grid, so a wrong seed would change the numbers.
+func TestRunCampaignTrialSeedOffset(t *testing.T) {
+	trials := campaignGrid(t)
+	full, err := ftsim.RunCampaign(context.Background(), "offset", trials,
+		ftsim.WithCampaignSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ftsim.CollectStats(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Split the grid at every boundary, including the degenerate ones.
+	for cut := 0; cut <= len(trials); cut++ {
+		var got []*ftsim.Stats
+		for _, part := range []struct{ lo, hi int }{{0, cut}, {cut, len(trials)}} {
+			if part.lo == part.hi {
+				continue
+			}
+			rep, err := ftsim.RunCampaign(context.Background(), "offset", trials[part.lo:part.hi],
+				ftsim.WithCampaignSeed(5), ftsim.WithTrialSeedOffset(part.lo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := ftsim.CollectStats(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, st...)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("split at %d: sharded statistics differ from the full run's", cut)
+		}
+	}
+
+	// Negative control: at a fault rate high enough that every seed
+	// injects many faults, shifting the offset must change the numbers —
+	// otherwise the invariance above proves nothing about seeds.
+	hot := ftsim.Model("ss2").Config()
+	hot.MaxInsts = 2_000
+	hot.MaxCycles = 1_000_000
+	hot.Fault.Rate = 1e-2
+	hot.Fault.Targets = ftsim.AllFaultTargets()
+	hotTrial := []ftsim.Trial{{Label: "hot", Config: hot, Program: benchProgram(t, "gcc")}}
+	var hotStats []*ftsim.Stats
+	for _, off := range []int{0, 1} {
+		rep, err := ftsim.RunCampaign(context.Background(), "offset", hotTrial,
+			ftsim.WithCampaignSeed(5), ftsim.WithTrialSeedOffset(off))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := ftsim.CollectStats(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hotStats = append(hotStats, st...)
+	}
+	if reflect.DeepEqual(hotStats[0], hotStats[1]) {
+		t.Error("seed offsets 0 and 1 produced identical fault statistics; offsets are not reaching seed derivation")
+	}
+}
+
 // TestRunCampaignTimeoutManifest: with containment (the default), trials
 // that exceed the per-trial deadline land in the error manifest as
 // ErrTrialTimeout without aborting the campaign run.

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/ftsim/api"
+)
+
+// authedRequest performs one request with an optional bearer token and
+// returns the status code plus body.
+func authedRequest(t *testing.T, method, url, bearer string, body []byte) (int, []byte, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bearer != "" {
+		req.Header.Set("Authorization", "Bearer "+bearer)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes(), resp.Header
+}
+
+// TestAuthTokenGate: with an AuthToken configured, every campaign
+// endpoint refuses requests without the exact bearer token, while the
+// probe endpoints stay open for health checks and scrapers.
+func TestAuthTokenGate(t *testing.T) {
+	const token = "s3cret-shard-token"
+	_, ts := newTestServer(t, Config{AuthToken: token})
+
+	// The gate, across methods and paths, for the ways a credential is
+	// commonly wrong: absent, mistyped, right value in the wrong scheme.
+	deny := map[string]func() (int, []byte, http.Header){
+		"no token list": func() (int, []byte, http.Header) { return authedRequest(t, "GET", ts.URL+"/v1/campaigns", "", nil) },
+		"no token submit": func() (int, []byte, http.Header) {
+			return authedRequest(t, "POST", ts.URL+"/v1/campaigns", "", []byte(`{}`))
+		},
+		"no token status": func() (int, []byte, http.Header) {
+			return authedRequest(t, "GET", ts.URL+"/v1/campaigns/cdeadbeef", "", nil)
+		},
+		"no token events": func() (int, []byte, http.Header) {
+			return authedRequest(t, "GET", ts.URL+"/v1/campaigns/cdeadbeef/events", "", nil)
+		},
+		"no token cancel": func() (int, []byte, http.Header) {
+			return authedRequest(t, "DELETE", ts.URL+"/v1/campaigns/cdeadbeef", "", nil)
+		},
+		"wrong token": func() (int, []byte, http.Header) {
+			return authedRequest(t, "GET", ts.URL+"/v1/campaigns", "s3cret-shard-tokeN", nil)
+		},
+		"truncated token": func() (int, []byte, http.Header) {
+			return authedRequest(t, "GET", ts.URL+"/v1/campaigns", token[:len(token)-1], nil)
+		},
+		"wrong scheme": func() (int, []byte, http.Header) {
+			req, err := http.NewRequest("GET", ts.URL+"/v1/campaigns", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.SetBasicAuth("x", token)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			return resp.StatusCode, nil, resp.Header
+		},
+	}
+	for name, do := range deny {
+		code, body, hdr := do()
+		if code != http.StatusUnauthorized {
+			t.Errorf("%s: status %d, want 401 (body %s)", name, code, body)
+		}
+		if got := hdr.Get("WWW-Authenticate"); got == "" {
+			t.Errorf("%s: 401 without a WWW-Authenticate challenge", name)
+		}
+	}
+
+	// Probe endpoints answer without credentials.
+	for _, path := range []string{"/healthz", "/metrics", "/version"} {
+		if code, body, _ := authedRequest(t, "GET", ts.URL+path, "", nil); code != http.StatusOK {
+			t.Errorf("GET %s without token: status %d, want 200 (body %s)", path, code, body)
+		}
+	}
+
+	// The real token unlocks the full lifecycle.
+	body, err := json.Marshal(&api.CampaignRequest{Trials: []api.TrialSpec{quickTrial("t0")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", ts.URL+"/v1/campaigns", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	req.Header.Set("X-FTSim-Client", "alice")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st api.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("authenticated submit: status %d, decode err %v", resp.StatusCode, err)
+	}
+	if st.Owner != "alice" {
+		t.Errorf("owner %q: the accounting label should still come from X-FTSim-Client", st.Owner)
+	}
+	if code, body, _ := authedRequest(t, "GET", ts.URL+"/v1/campaigns/"+st.ID, token, nil); code != http.StatusOK {
+		t.Errorf("authenticated status: %d (body %s)", code, body)
+	}
+}
+
+// TestAuthTokenDisabled: an empty AuthToken leaves the daemon open —
+// the pre-auth behaviour, byte for byte.
+func TestAuthTokenDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if code, body, _ := authedRequest(t, "GET", ts.URL+"/v1/campaigns", "", nil); code != http.StatusOK {
+		t.Errorf("open daemon refused an unauthenticated list: %d (body %s)", code, body)
+	}
+}

@@ -2,26 +2,27 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"time"
 
 	"repro/ftsim"
 	"repro/ftsim/api"
+	"repro/internal/sse"
 )
 
 // job is one submitted campaign moving through the lifecycle state
 // machine (api.JobState). All mutable fields are guarded by the
 // server's mutex; the hub has its own lock and may be used without it.
 type job struct {
-	id        string
-	owner     string
-	name      string
-	req       *api.CampaignRequest
-	trials    []ftsim.Trial
-	submitted time.Time
-	hub       *hub
+	id         string
+	owner      string
+	name       string
+	req        *api.CampaignRequest
+	trials     []ftsim.Trial
+	seedOffset int // parent-grid index of trials[0] (shard requests)
+	submitted  time.Time
+	hub        *sse.Hub
 
 	state      api.JobState
 	started    time.Time
@@ -29,6 +30,8 @@ type job struct {
 	done       int // completed trials, including resumed ones
 	failed     int
 	resumed    int
+	shards     int // shard counters, maintained by distributed backends
+	shardsDone int
 	errMsg     string
 	statsJSON  []byte
 	cancelRun  context.CancelFunc // set while running
@@ -38,17 +41,19 @@ type job struct {
 // status snapshots the job as a wire JobStatus. Caller holds s.mu.
 func (j *job) status() *api.JobStatus {
 	st := &api.JobStatus{
-		ID:        j.id,
-		Name:      j.name,
-		State:     j.state,
-		Owner:     j.owner,
-		Trials:    len(j.trials),
-		Done:      j.done,
-		Failed:    j.failed,
-		Resumed:   j.resumed,
-		Submitted: j.submitted,
-		Error:     j.errMsg,
-		Stats:     j.statsJSON,
+		ID:         j.id,
+		Name:       j.name,
+		State:      j.state,
+		Owner:      j.owner,
+		Trials:     len(j.trials),
+		Done:       j.done,
+		Failed:     j.failed,
+		Resumed:    j.resumed,
+		Shards:     j.shards,
+		ShardsDone: j.shardsDone,
+		Submitted:  j.submitted,
+		Error:      j.errMsg,
+		Stats:      j.statsJSON,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -73,6 +78,10 @@ func (s *Server) buildJob(req *api.CampaignRequest, owner string) (*job, error) 
 	}
 	if req.Seed == 0 {
 		req.Seed = 1
+	}
+	offset := 0
+	if req.Shard != nil {
+		offset = req.Shard.Offset
 	}
 	programs := make(map[string]*ftsim.Program)
 	trials := make([]ftsim.Trial, len(req.Trials))
@@ -110,7 +119,10 @@ func (s *Server) buildJob(req *api.CampaignRequest, owner string) (*job, error) 
 		}
 		ts.Config = cfg
 		if ts.Label == "" {
-			ts.Label = fmt.Sprintf("%d/%s", i, prog.Name())
+			// Shard requests label by parent-grid index, so a sharded
+			// run's streams and manifests name trials exactly as the
+			// unsharded run would.
+			ts.Label = fmt.Sprintf("%d/%s", offset+i, prog.Name())
 		}
 		trials[i] = ftsim.Trial{Label: ts.Label, Config: cfg, Program: prog}
 	}
@@ -118,11 +130,12 @@ func (s *Server) buildJob(req *api.CampaignRequest, owner string) (*job, error) 
 		req.Name = trials[0].Program.Name()
 	}
 	return &job{
-		owner:  owner,
-		name:   req.Name,
-		req:    req,
-		trials: trials,
-		state:  api.StateQueued,
+		owner:      owner,
+		name:       req.Name,
+		req:        req,
+		trials:     trials,
+		seedOffset: offset,
+		state:      api.StateQueued,
 	}, nil
 }
 
@@ -189,70 +202,29 @@ func (s *Server) runJob(j *job) {
 	ctx = withLogger(ctx, jlog)
 	jlog.Info("job running", "name", j.name, "trials", len(j.trials),
 		"queue_wait", j.started.Sub(j.submitted))
-	j.hub.publish(api.Event{Type: api.EventState, State: api.StateRunning})
+	j.hub.Publish(api.Event{Type: api.EventState, State: api.StateRunning})
 
-	workers := j.req.Workers
-	if workers == 0 {
-		workers = s.cfg.WorkersPerJob
+	backend := s.cfg.Backend
+	if backend == nil {
+		backend = localBackend{s}
 	}
-	opts := []ftsim.CampaignOption{
-		ftsim.WithWorkers(workers),
-		ftsim.WithCampaignSeed(j.req.Seed),
-		ftsim.WithMetricsSink(s.m.campaign),
-		ftsim.WithCampaignObserveEvery(s.cfg.ObserveEvery),
-		ftsim.WithCampaignObserver(func(trial int, label string, iv ftsim.Interval) {
-			j.hub.publish(api.Event{Type: api.EventInterval, Trial: trial, Label: label, Interval: &iv})
-		}),
-		ftsim.WithCampaignProgress(func(done, total int, r ftsim.TrialResult) {
-			s.mu.Lock()
-			j.done = done
-			if r.Err != nil && !isCancellation(r.Err) {
-				j.failed++
-			}
-			s.mu.Unlock()
-			ev := api.Event{
-				Type: api.EventTrial, Trial: r.Index, Label: r.Label,
-				Done: done, Total: total, Seconds: r.Elapsed.Seconds(),
-			}
-			if r.Err != nil {
-				ev.Err = r.Err.Error()
-			}
-			j.hub.publish(ev)
-		}),
+	res, err := backend.Run(ctx, s.backendView(j))
+	if err == nil && res == nil {
+		err = errors.New("backend returned no result")
 	}
-	if s.cfg.TrialTimeout > 0 {
-		opts = append(opts, ftsim.WithTrialTimeout(s.cfg.TrialTimeout))
-	}
-	if s.cfg.DataDir != "" {
-		opts = append(opts,
-			ftsim.WithCheckpoint(s.journalPath(j.id)),
-			ftsim.WithCheckpointFlushEvery(s.cfg.FlushEvery))
-	}
-
-	rep, err := ftsim.RunCampaign(ctx, j.id, j.trials, opts...)
 
 	s.mu.Lock()
 	j.cancelRun = nil
 	s.m.running.Dec()
-	if rep != nil {
-		j.resumed = rep.Resumed
-		j.failed = len(rep.Failures())
+	if res != nil {
+		j.resumed = res.Resumed
+		j.failed = res.Failed
 	}
 	switch {
 	case err == nil:
-		// Every trial completed (a fully resumed campaign never calls
-		// the progress callback, so count from the report, not from it).
-		j.done = len(rep.Results)
+		j.done = res.Done
+		j.statsJSON = res.Stats
 		j.state = api.StateDone
-		if stats, cerr := ftsim.CollectStats(rep); cerr != nil {
-			j.state = api.StateFailed
-			j.errMsg = cerr.Error()
-		} else if data, merr := json.Marshal(stats); merr != nil {
-			j.state = api.StateFailed
-			j.errMsg = fmt.Sprintf("encoding stats: %v", merr)
-		} else {
-			j.statsJSON = data
-		}
 	case j.userCancel:
 		j.state = api.StateCancelled
 	case s.runCtx.Err() != nil:
@@ -262,7 +234,7 @@ func (s *Server) runJob(j *job) {
 		// resumes the completed trials instead of re-running them.
 		j.state = api.StateQueued
 		j.started = time.Time{}
-		j.done, j.failed, j.resumed = 0, 0, 0
+		j.done, j.failed, j.resumed, j.shardsDone = 0, 0, 0, 0
 		s.m.queueDepth.Inc()
 		s.mu.Unlock()
 		jlog.Info("job interrupted by drain; will resume on restart")
@@ -282,8 +254,8 @@ func (s *Server) runJob(j *job) {
 	jlog.Info("job finished", "name", j.name, "state", final.State,
 		"done", final.Done, "trials", final.Trials,
 		"failed", final.Failed, "resumed", final.Resumed)
-	j.hub.publish(api.Event{Type: api.EventDone, State: final.State, Status: final})
-	j.hub.close()
+	j.hub.Publish(api.Event{Type: api.EventDone, State: final.State, Status: final})
+	j.hub.Close()
 }
 
 // cancelJob handles DELETE: a queued job finishes immediately as
@@ -304,8 +276,8 @@ func (s *Server) cancelJob(j *job) *api.JobStatus {
 		if perr := s.persistDone(j, final); perr != nil {
 			s.logger.Error("persisting cancellation failed", "job", j.id, "err", perr)
 		}
-		j.hub.publish(api.Event{Type: api.EventDone, State: final.State, Status: final})
-		j.hub.close()
+		j.hub.Publish(api.Event{Type: api.EventDone, State: final.State, Status: final})
+		j.hub.Close()
 		return final
 	case api.StateRunning:
 		j.userCancel = true

@@ -11,6 +11,7 @@ import (
 
 	"repro/ftsim"
 	"repro/internal/obs"
+	"repro/internal/sse"
 )
 
 // metrics is the daemon's instrument set, registered once per Server on
@@ -34,19 +35,7 @@ type metrics struct {
 	httpRequests *obs.CounterVec   // route, code
 	httpSeconds  *obs.HistogramVec // route
 
-	sse sseMetrics
-}
-
-// sseMetrics instruments the per-job event hubs. One instance is shared
-// by every hub of a Server; a nil *sseMetrics (hubs built outside a
-// Server, e.g. in tests) disables recording.
-type sseMetrics struct {
-	subscribers      *obs.Gauge
-	published        *obs.Counter
-	replayed         *obs.Counter // history events handed to (re)connecting subscribers
-	droppedReplays   *obs.Counter // events lost to reconnects past the bounded history
-	evictions        *obs.Counter // slow subscribers force-closed
-	droppedIntervals *obs.Counter // interval samples dropped for full subscriber buffers
+	sse *sse.Metrics
 }
 
 // queueWaitBuckets spans ms (idle daemon) to many minutes (saturated
@@ -76,20 +65,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		httpSeconds: reg.NewHistogram("ftsimd_http_request_seconds",
 			"HTTP request latency by route pattern.", obs.HTTPSecondsBuckets, "route"),
 
-		sse: sseMetrics{
-			subscribers: reg.NewGauge("ftsimd_sse_subscribers",
-				"Live SSE subscribers across all job streams.").With(),
-			published: reg.NewCounter("ftsimd_sse_published_events_total",
-				"Events published to job streams.").With(),
-			replayed: reg.NewCounter("ftsimd_sse_replayed_events_total",
-				"Retained events replayed to (re)connecting subscribers.").With(),
-			droppedReplays: reg.NewCounter("ftsimd_sse_dropped_replay_events_total",
-				"Events a reconnecting subscriber asked for that had aged out of the bounded history.").With(),
-			evictions: reg.NewCounter("ftsimd_sse_evictions_total",
-				"Slow subscribers evicted for falling a full buffer behind the live stream.").With(),
-			droppedIntervals: reg.NewCounter("ftsimd_sse_dropped_interval_events_total",
-				"Interval samples dropped for individual slow subscribers.").With(),
-		},
+		sse: sse.NewMetrics(reg, "ftsimd"),
 	}
 }
 
@@ -145,12 +121,14 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// instrument wraps the route mux with the serving-layer observability:
-// a per-request ID propagated through the context logger, the
-// route-labelled request counter and latency histogram, and a debug
-// completion log line. Routes are the mux patterns (bounded
-// cardinality), never raw paths.
-func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+// instrument wraps the handler chain with the serving-layer
+// observability: a per-request ID propagated through the context
+// logger, the route-labelled request counter and latency histogram,
+// and a debug completion log line. Routes are resolved from the mux
+// patterns (bounded cardinality), never raw paths, but the request is
+// served through h so middleware between mux and instrument (auth) is
+// still measured.
+func (s *Server) instrument(mux *http.ServeMux, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		_, route := mux.Handler(r)
@@ -160,7 +138,7 @@ func (s *Server) instrument(mux *http.ServeMux) http.Handler {
 		reqLog := s.logger.With("req", newRequestID())
 		r = r.WithContext(withLogger(r.Context(), reqLog))
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		mux.ServeHTTP(sw, r)
+		h.ServeHTTP(sw, r)
 		elapsed := time.Since(start)
 		s.m.httpRequests.With(route, strconv.Itoa(sw.code)).Inc()
 		s.m.httpSeconds.With(route).Observe(elapsed.Seconds())

@@ -8,7 +8,6 @@ import (
 	"testing"
 
 	"repro/ftsim/api"
-	"repro/internal/obs"
 )
 
 // scrapeMetrics fetches GET /metrics and returns the text exposition.
@@ -125,87 +124,4 @@ func TestHealthReadiness(t *testing.T) {
 	s.mu.Lock()
 	s.draining = false // let the deferred Drain run normally
 	s.mu.Unlock()
-}
-
-// TestHubSlowSubscriberEviction: a subscriber that lets its buffer fill
-// is evicted on the next non-interval event — and the eviction counter
-// says so.
-func TestHubSlowSubscriberEviction(t *testing.T) {
-	m := newMetrics(obs.NewRegistry())
-	h := newHub("j1", &m.sse)
-
-	_, ch, cancel := h.subscribe(0)
-	defer cancel()
-	if got := m.sse.subscribers.Value(); got != 1 {
-		t.Fatalf("subscribers gauge %d after subscribe, want 1", got)
-	}
-
-	// Fill the buffer exactly, without reading.
-	for i := 0; i < subBuffer; i++ {
-		h.publish(api.Event{Type: api.EventTrial})
-	}
-	if got := m.sse.evictions.Value(); got != 0 {
-		t.Fatalf("evicted with a merely full buffer (evictions %d)", got)
-	}
-
-	// An interval on a full buffer is dropped for this subscriber only.
-	h.publish(api.Event{Type: api.EventInterval})
-	if got := m.sse.droppedIntervals.Value(); got != 1 {
-		t.Errorf("dropped-interval counter %d, want 1", got)
-	}
-	if got := m.sse.evictions.Value(); got != 0 {
-		t.Fatalf("interval drop evicted the subscriber")
-	}
-
-	// A lifecycle event on a full buffer must not be dropped: evict.
-	h.publish(api.Event{Type: api.EventState, State: api.StateRunning})
-	if got := m.sse.evictions.Value(); got != 1 {
-		t.Errorf("eviction counter %d, want 1", got)
-	}
-	if got := m.sse.subscribers.Value(); got != 0 {
-		t.Errorf("subscribers gauge %d after eviction, want 0", got)
-	}
-	// The channel still drains its buffered events, then closes.
-	n := 0
-	for range ch {
-		n++
-	}
-	if n != subBuffer {
-		t.Errorf("evicted subscriber drained %d events, want %d", n, subBuffer)
-	}
-}
-
-// TestHubDroppedReplay: reconnecting with a Last-Event-ID that has
-// aged out of the bounded history replays what is retained and counts
-// what is gone.
-func TestHubDroppedReplay(t *testing.T) {
-	const past = 25
-	m := newMetrics(obs.NewRegistry())
-	h := newHub("j2", &m.sse)
-
-	for i := 0; i < hubHistory+past; i++ {
-		h.publish(api.Event{Type: api.EventInterval})
-	}
-
-	backlog, _, cancel := h.subscribe(0) // asks for everything since the beginning
-	defer cancel()
-	if len(backlog) != hubHistory {
-		t.Fatalf("backlog %d events, want the full retained window %d", len(backlog), hubHistory)
-	}
-	if got := m.sse.droppedReplays.Value(); got != past {
-		t.Errorf("dropped-replay counter %d, want %d", got, past)
-	}
-	if got := m.sse.replayed.Value(); got != hubHistory {
-		t.Errorf("replayed counter %d, want %d", got, hubHistory)
-	}
-
-	// A subscriber inside the window drops nothing further.
-	backlog2, _, cancel2 := h.subscribe(int64(hubHistory + past - 10))
-	defer cancel2()
-	if len(backlog2) != 10 {
-		t.Fatalf("in-window backlog %d events, want 10", len(backlog2))
-	}
-	if got := m.sse.droppedReplays.Value(); got != past {
-		t.Errorf("in-window replay moved the dropped counter to %d", got)
-	}
 }

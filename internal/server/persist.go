@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/ftsim/api"
+	"repro/internal/sse"
 )
 
 // On-disk layout under DataDir, one triple per job:
@@ -169,7 +170,7 @@ func (s *Server) recover() error {
 		j.id = env.ID
 		j.name = env.Name
 		j.submitted = env.Submitted
-		j.hub = newHub(j.id, &s.m.sse)
+		j.hub = sse.NewHub(j.id, s.m.sse)
 
 		if rec, err := s.loadDone(env.ID); err != nil {
 			return err
@@ -190,13 +191,13 @@ func (s *Server) recover() error {
 		case j.state == api.StateQueued:
 			s.fifo = append(s.fifo, j)
 			s.m.queueDepth.Inc()
-			j.hub.publish(api.Event{Type: api.EventState, State: api.StateQueued})
+			j.hub.Publish(api.Event{Type: api.EventState, State: api.StateQueued})
 			requeued++
 		default:
 			// Terminal (or failed-to-rebuild): the stream replays the
 			// final state and closes immediately.
-			j.hub.publish(api.Event{Type: api.EventDone, State: j.state, Status: j.status()})
-			j.hub.close()
+			j.hub.Publish(api.Event{Type: api.EventDone, State: j.state, Status: j.status()})
+			j.hub.Close()
 		}
 	}
 	if len(envelopes) > 0 {

@@ -21,6 +21,7 @@ package server
 import (
 	"context"
 	"crypto/rand"
+	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -37,6 +38,7 @@ import (
 	"repro/ftsim/api"
 	"repro/internal/buildinfo"
 	"repro/internal/obs"
+	"repro/internal/sse"
 )
 
 // maxBodyBytes bounds submission bodies; a campaign grid of thousands
@@ -80,6 +82,16 @@ type Config struct {
 	FlushEvery int
 	// TrialTimeout, when positive, bounds each trial attempt.
 	TrialTimeout time.Duration
+	// AuthToken, when non-empty, locks the API behind a shared bearer
+	// token: every request except /healthz, /metrics and /version must
+	// carry "Authorization: Bearer <token>" or is refused with 401.
+	// Empty leaves the daemon open (trusted-network deployments).
+	AuthToken string
+	// Backend executes admitted jobs. nil selects the local campaign
+	// engine; a coordinator daemon installs a distributed backend that
+	// shards jobs across worker daemons. Everything around execution —
+	// admission, queueing, SSE, persistence — is the same either way.
+	Backend Backend
 	// Logger receives structured operational logs; nil discards them.
 	// Request- and job-scoped loggers derive from it with "req" and
 	// "job" attributes attached.
@@ -215,7 +227,33 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /metrics", s.m.reg.Handler())
 	mux.HandleFunc("GET /version", s.handleVersion)
-	return s.instrument(mux)
+	return s.instrument(mux, s.requireAuth(mux))
+}
+
+// requireAuth gates the campaign API behind the shared bearer token
+// when one is configured. Probe endpoints stay open: health checks and
+// scrapers predate any token distribution, and they expose no campaign
+// data or mutation. Comparison is constant-time; note the X-FTSim-Client
+// header remains a self-reported accounting label, never a credential.
+func (s *Server) requireAuth(next http.Handler) http.Handler {
+	if s.cfg.AuthToken == "" {
+		return next
+	}
+	want := []byte("Bearer " + s.cfg.AuthToken)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz", "/metrics", "/version":
+			next.ServeHTTP(w, r)
+			return
+		}
+		got := []byte(r.Header.Get("Authorization"))
+		if subtle.ConstantTimeCompare(got, want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="ftsimd"`)
+			fail(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -293,7 +331,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.id = newJobID()
 	}
 	j.submitted = time.Now().UTC()
-	j.hub = newHub(j.id, &s.m.sse)
+	j.hub = sse.NewHub(j.id, s.m.sse)
 	if err := s.persistEnvelope(j); err != nil {
 		s.mu.Unlock()
 		fail(w, http.StatusInternalServerError, "persisting job: %v", err)
@@ -310,7 +348,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.log(r.Context()).Info("job queued",
 		"job", j.id, "name", j.name, "trials", st.Trials, "client", j.owner)
-	j.hub.publish(api.Event{Type: api.EventState, State: api.StateQueued})
+	j.hub.Publish(api.Event{Type: api.EventState, State: api.StateQueued})
 	writeJSON(w, http.StatusAccepted, st)
 }
 
@@ -442,7 +480,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		after = n
 	}
 
-	backlog, ch, cancel := j.hub.subscribe(after)
+	backlog, ch, cancel := j.hub.Subscribe(after)
 	defer cancel()
 
 	w.Header().Set("Content-Type", "text/event-stream")

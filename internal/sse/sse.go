@@ -1,0 +1,181 @@
+// Package sse is the event fan-out shared by every daemon mode of the
+// campaign service: an append-only, sequence-numbered per-job event
+// log with bounded replay history and any number of live subscribers.
+// The worker daemon (internal/server) publishes local campaign
+// progress to it; the coordinator (internal/coord) republishes merged
+// multi-worker progress through the identical machinery, so clients
+// see one SSE dialect regardless of which daemon they watch.
+package sse
+
+import (
+	"sync"
+
+	"repro/ftsim/api"
+	"repro/internal/obs"
+)
+
+// HubHistory bounds the per-job event replay buffer. Events older than
+// the window are evicted; a reconnecting client whose Last-Event-ID
+// fell off the window simply replays from the oldest retained event.
+const HubHistory = 4096
+
+// SubBuffer is each subscriber's channel depth. A subscriber that falls
+// this far behind the live stream is evicted (its channel closes) for
+// every event kind except intervals, which are droppable progress
+// samples; evicted clients reconnect with Last-Event-ID and catch up
+// from history.
+const SubBuffer = 256
+
+// Metrics instruments a set of hubs. One instance is shared by every
+// hub of a daemon; a nil *Metrics disables recording. All fields must
+// be set when the struct is non-nil.
+type Metrics struct {
+	Subscribers      *obs.Gauge
+	Published        *obs.Counter
+	Replayed         *obs.Counter // history events handed to (re)connecting subscribers
+	DroppedReplays   *obs.Counter // events lost to reconnects past the bounded history
+	Evictions        *obs.Counter // slow subscribers force-closed
+	DroppedIntervals *obs.Counter // interval samples dropped for full subscriber buffers
+}
+
+// NewMetrics registers the hub instrument set on reg under the given
+// metric-name prefix (e.g. "ftsimd" yields ftsimd_sse_*).
+func NewMetrics(reg *obs.Registry, prefix string) *Metrics {
+	return &Metrics{
+		Subscribers: reg.NewGauge(prefix+"_sse_subscribers",
+			"Live SSE subscribers across all job streams.").With(),
+		Published: reg.NewCounter(prefix+"_sse_published_events_total",
+			"Events published to job streams.").With(),
+		Replayed: reg.NewCounter(prefix+"_sse_replayed_events_total",
+			"Retained events replayed to (re)connecting subscribers.").With(),
+		DroppedReplays: reg.NewCounter(prefix+"_sse_dropped_replay_events_total",
+			"Events a reconnecting subscriber asked for that had aged out of the bounded history.").With(),
+		Evictions: reg.NewCounter(prefix+"_sse_evictions_total",
+			"Slow subscribers evicted for falling a full buffer behind the live stream.").With(),
+		DroppedIntervals: reg.NewCounter(prefix+"_sse_dropped_interval_events_total",
+			"Interval samples dropped for individual slow subscribers.").With(),
+	}
+}
+
+// Hub is one job's event fan-out. Publishing never blocks on slow
+// consumers, so the simulation observer tap stays cheap.
+type Hub struct {
+	mu       sync.Mutex
+	job      string
+	m        *Metrics // shared across a daemon's hubs; nil disables recording
+	seq      int64
+	history  []api.Event
+	firstSeq int64 // Seq of history[0]
+	subs     map[chan api.Event]struct{}
+	closed   bool
+}
+
+// NewHub builds a hub for one job's stream. m may be nil.
+func NewHub(job string, m *Metrics) *Hub {
+	return &Hub{job: job, m: m, firstSeq: 1, subs: make(map[chan api.Event]struct{})}
+}
+
+// Publish stamps the event with the job and the next sequence number,
+// records it in history, and fans it out. Interval events are dropped
+// for subscribers whose buffer is full; any other kind evicts such a
+// subscriber instead, so lifecycle and completion events are never
+// silently missing from a live stream.
+func (h *Hub) Publish(ev api.Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.seq++
+	ev.Seq = h.seq
+	ev.Job = h.job
+	h.history = append(h.history, ev)
+	if len(h.history) > HubHistory {
+		drop := len(h.history) - HubHistory
+		h.history = append(h.history[:0:0], h.history[drop:]...)
+		h.firstSeq += int64(drop)
+	}
+	if h.m != nil {
+		h.m.Published.Inc()
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			if ev.Type == api.EventInterval {
+				if h.m != nil {
+					h.m.DroppedIntervals.Inc()
+				}
+				continue
+			}
+			delete(h.subs, ch)
+			close(ch)
+			if h.m != nil {
+				h.m.Evictions.Inc()
+				h.m.Subscribers.Dec()
+			}
+		}
+	}
+}
+
+// Subscribe returns the retained events after sequence number `after`
+// plus a live channel for what follows. The channel is closed when the
+// hub closes (job reached a terminal state) or the subscriber is
+// evicted; cancel detaches early and is idempotent.
+func (h *Hub) Subscribe(after int64) (backlog []api.Event, ch chan api.Event, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if after < h.firstSeq-1 {
+		// The subscriber asked for events that already fell off the
+		// bounded history; they are gone, and the dropped-replay counter
+		// is the only remaining evidence.
+		if h.m != nil {
+			h.m.DroppedReplays.Add(uint64(h.firstSeq - 1 - after))
+		}
+		after = h.firstSeq - 1
+	}
+	if n := int(h.seq - after); n > 0 && len(h.history) >= n {
+		backlog = append(backlog, h.history[len(h.history)-n:]...)
+	}
+	if h.m != nil {
+		h.m.Replayed.Add(uint64(len(backlog)))
+	}
+	ch = make(chan api.Event, SubBuffer)
+	if h.closed {
+		close(ch)
+		return backlog, ch, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	if h.m != nil {
+		h.m.Subscribers.Inc()
+	}
+	return backlog, ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+			if h.m != nil {
+				h.m.Subscribers.Dec()
+			}
+		}
+	}
+}
+
+// Close ends the stream: all subscriber channels close after the events
+// already published. Further publishes are no-ops.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+		if h.m != nil {
+			h.m.Subscribers.Dec()
+		}
+	}
+}

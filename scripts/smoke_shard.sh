@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# smoke_shard.sh — end-to-end smoke test for distributed campaigns,
+# exercised through the real binaries the way an operator would:
+#
+#   1. build ftsimd + ftsimc
+#   2. control: one plain daemon runs a fault-injecting campaign to
+#      completion; its aggregate stats are the reference bytes
+#   3. cluster: two token-locked worker daemons plus a coordinator
+#      daemon (-coordinator -worker-urls ...); the same submission is
+#      sharded across the fleet, and one worker is SIGKILLed mid-grid
+#   4. the coordinator must redispatch the dead worker's shard to the
+#      survivor and finish; the merged stats must be byte-identical to
+#      the single-daemon control, and the coordinator's /metrics must
+#      record the redispatch
+#
+# Run from the repository root: scripts/smoke_shard.sh
+set -euo pipefail
+
+work=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+say() { echo "smoke-shard: $*"; }
+die() { echo "smoke-shard: FAIL: $*" >&2; exit 1; }
+
+token="smoke-shard-secret"
+
+# start_daemon <name> <extra flags...> — launches ftsimd on a random
+# port; sets $addr and appends the pid to $pids.
+start_daemon() {
+  local name=$1; shift
+  "$work/ftsimd" -addr 127.0.0.1:0 "$@" \
+    > "$work/$name.addr" 2>> "$work/$name.log" &
+  pids+=($!)
+  eval "${name}_pid=$!"
+  local a=""
+  for _ in $(seq 1 100); do
+    a=$(head -1 "$work/$name.addr" 2>/dev/null || true)
+    [ -n "$a" ] && break
+    sleep 0.1
+  done
+  [ -n "$a" ] || die "$name never printed its address"
+  addr="http://$a"
+  eval "${name}_addr=$addr"
+}
+
+# wait_for <base-url> <job-id> <grep-pattern> — polls ftsimc status
+# until the summary line matches.
+wait_for() {
+  for _ in $(seq 1 600); do
+    if "$work/ftsimc" -addr "$1" status "$2" | grep -qE "$3"; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  die "job $2 never matched '$3'; last: $("$work/ftsimc" -addr "$1" status "$2")"
+}
+
+say "building ftsimd and ftsimc"
+go build -o "$work" ./cmd/ftsimd ./cmd/ftsimc
+
+# The campaign: six slow trials with live fault injection, so the
+# per-trial seed derivation — the thing sharding must not disturb —
+# actually shapes the numbers.
+cat > "$work/req.json" <<'EOF'
+{"name":"smoke-shard","seed":11,"workers":1,"trials":[
+EOF
+for i in 0 1 2 3 4 5; do
+  comma=$([ "$i" = 5 ] && echo "" || echo ",")
+  cat >> "$work/req.json" <<EOF
+ {"label":"t$i","asm":"li r1, 400000\nloop: addi r1, r1, -1\n bne r1, r0, loop\n halt\n","config":{"r":2,"max_insts":99000000,"max_cycles":990000000,"fault":{"rate":0.000005,"targets":["result","address","resident","branch"]}}}$comma
+EOF
+done
+echo ']}' >> "$work/req.json"
+
+# ---------------------------------------------------------------- 1.
+# Control: the whole grid on one ordinary daemon.
+say "control: unsharded run on a single daemon"
+start_daemon control
+id=$("$work/ftsimc" -addr "$control_addr" submit "$work/req.json")
+"$work/ftsimc" -addr "$control_addr" watch "$id" > /dev/null
+"$work/ftsimc" -addr "$control_addr" status -stats "$id" > "$work/control.json"
+[ -s "$work/control.json" ] || die "control run produced no stats"
+
+# ---------------------------------------------------------------- 2.
+# Cluster: two token-locked workers, one coordinator in front.
+say "cluster: 2 workers + coordinator"
+start_daemon worker1 -auth-token "$token"
+start_daemon worker2 -auth-token "$token"
+start_daemon coord -coordinator \
+  -worker-urls "$worker1_addr,$worker2_addr" \
+  -worker-auth-token "$token" -shards 2
+
+# A worker must refuse unauthenticated campaign requests.
+code=$(curl -s -o /dev/null -w '%{http_code}' "$worker1_addr/v1/campaigns")
+[ "$code" = 401 ] || die "token-locked worker answered $code to an unauthenticated request, want 401"
+
+id=$("$work/ftsimc" -addr "$coord_addr" submit "$work/req.json")
+say "submitted $id to the coordinator; waiting for a mid-grid snapshot"
+# With 2 shards of 3 trials, <=2 done means neither shard has finished:
+# whichever worker dies now leaves an unfinished shard behind.
+wait_for "$coord_addr" "$id" ' [1-2]/6 trials'
+say "killing worker 2 mid-grid (SIGKILL)"
+kill -9 "$worker2_pid" 2>/dev/null || true
+wait "$worker2_pid" 2>/dev/null || true
+
+wait_for "$coord_addr" "$id" '  done  '
+"$work/ftsimc" -addr "$coord_addr" status -stats "$id" > "$work/sharded.json"
+
+# ---------------------------------------------------------------- 3.
+# The merge must be invisible: same bytes as the single-daemon run.
+if ! cmp -s "$work/sharded.json" "$work/control.json"; then
+  diff "$work/sharded.json" "$work/control.json" | head -40 >&2 || true
+  die "merged shard stats differ from the single-daemon control"
+fi
+say "merged stats are byte-identical to the unsharded control"
+
+# The coordinator's /metrics must record the recovery.
+curl -fsS "$coord_addr/metrics" > "$work/metrics.txt" || die "GET /metrics failed"
+metric_ge() {
+  local line
+  line=$(grep -E "^$1 " "$work/metrics.txt" | head -1)
+  [ -n "$line" ] || die "metrics: no line matching '$1'"
+  awk -v min="$2" '{ exit ($NF >= min) ? 0 : 1 }' <<< "$line" \
+    || die "metrics: '$line' below expected minimum $2"
+}
+metric_ge 'ftsimd_coord_shards_dispatched_total' 3
+metric_ge 'ftsimd_coord_shard_redispatches_total' 1
+metric_ge 'ftsimd_coord_shards_total\{state="done"\}' 2
+metric_ge 'ftsimd_jobs_total\{state="done"\}' 1
+say "coordinator metrics record the redispatch"
+say "OK"
